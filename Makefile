@@ -1,0 +1,58 @@
+# Common workflows for the FESIA reproduction.
+
+GO ?= go
+
+.PHONY: all build test race cover bench ablation fuzz kernels experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# One testing.B benchmark per paper table/figure, plus micro and ablation
+# benches (the deliverable artifact: bench_output.txt).
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+ablation:
+	$(GO) test -bench=Ablation -benchmem .
+
+# Short differential fuzzing session for the intersection strategies and the
+# set deserializer.
+fuzz:
+	$(GO) test ./internal/core -fuzz=FuzzIntersect -fuzztime=30s
+	$(GO) test ./internal/core -fuzz=FuzzReadSet -fuzztime=30s
+	$(GO) test ./internal/kernels -fuzz=FuzzTableCount -fuzztime=30s
+
+# Regenerate the specialized kernel library after editing internal/kernels/kernelgen.
+kernels:
+	$(GO) run ./cmd/genkernels
+	$(GO) test ./internal/kernels/...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/fesiabench -all | tee experiments_full.txt
+
+experiments-quick:
+	$(GO) run ./cmd/fesiabench -all -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/skewadaptive
+	$(GO) run ./examples/keywordsearch
+	$(GO) run ./examples/trianglecounting
+	$(GO) run ./examples/offlinebuild
+
+clean:
+	rm -f cover.out

@@ -1,0 +1,143 @@
+// Command fesiabench regenerates the tables and figures of the FESIA paper's
+// evaluation (Section VII) and prints them as aligned text tables.
+//
+// Usage:
+//
+//	fesiabench -all            # every experiment at default scale
+//	fesiabench -exp fig7a      # one experiment
+//	fesiabench -exp fig8 -quick
+//
+// Experiments: fig4 fig5 fig6 fig7a fig7b fig8 fig9 fig10 fig11 fig12 fig13
+// fig14 table2 table3. The -quick flag shrinks inputs about 10x for a fast
+// smoke run; absolute times change, shapes should not.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"fesia/internal/datasets"
+	"fesia/internal/experiments"
+	"fesia/internal/simd"
+)
+
+type runner struct {
+	quick bool
+}
+
+func (r *runner) scaleInt(n int) int {
+	if r.quick {
+		return max(n/10, 1000)
+	}
+	return n
+}
+
+func (r *runner) run(id string) *experiments.Table {
+	haswell := []simd.Width{simd.WidthSSE, simd.WidthAVX}
+	skylake := []simd.Width{simd.WidthSSE, simd.WidthAVX, simd.WidthAVX512}
+	switch id {
+	case "fig4":
+		return experiments.KernelSpeedups(simd.WidthSSE, "fig4")
+	case "fig5":
+		return experiments.KernelSpeedups(simd.WidthAVX, "fig5")
+	case "fig6":
+		return experiments.KernelSpeedups(simd.WidthAVX512, "fig6")
+	case "fig7a":
+		return experiments.VaryInputSize("fig7a", r.sizes(), haswell)
+	case "fig7b":
+		return experiments.VaryInputSize("fig7b", r.sizes(), skylake)
+	case "fig8":
+		return experiments.SelectivitySweep("fig8", r.scaleInt(1_000_000), selectivities(), haswell)
+	case "fig9":
+		return experiments.SelectivitySweep("fig9", r.scaleInt(1_000_000), selectivities(),
+			[]simd.Width{simd.WidthAVX512})
+	case "fig10":
+		return experiments.ThreeWayDensity("fig10", r.scaleInt(1_000_000),
+			[]float64{0, 0.1, 0.2, 0.4, 0.6, 0.8}, simd.WidthAVX)
+	case "fig11":
+		return experiments.SkewSweep("fig11", r.scaleInt(320_000),
+			[]float64{1.0 / 32, 1.0 / 16, 1.0 / 8, 1.0 / 4, 1.0 / 2, 1}, simd.WidthAVX, 0.1)
+	case "fig12":
+		cfg := datasets.CorpusConfig{NumDocs: r.scaleInt(100_000), NumItems: r.scaleInt(200_000), MeanLen: 40, Seed: 1}
+		tbl, _ := experiments.DatabaseQueryTask(cfg, 20, simd.WidthAVX)
+		return tbl
+	case "fig13":
+		scale := 1.0
+		if r.quick {
+			scale = 0.1
+		}
+		return experiments.TriangleCountingTask(simd.WidthAVX, scale)
+	case "fig14":
+		return experiments.BreakdownSweep(r.scaleInt(50_000),
+			[]float64{2, 4, 8, 16, 32}, []int{8, 16, 32}, simd.WidthAVX)
+	case "table2":
+		return experiments.Table2(r.scaleInt(1_000_000))
+	case "table3":
+		scale := 1.0
+		if r.quick {
+			scale = 0.1
+		}
+		return experiments.Table3(scale)
+	default:
+		return nil
+	}
+}
+
+func (r *runner) sizes() []int {
+	if r.quick {
+		return []int{40_000, 80_000, 160_000, 320_000}
+	}
+	return []int{400_000, 800_000, 1_200_000, 1_600_000, 2_000_000, 2_400_000, 2_800_000, 3_200_000}
+}
+
+func selectivities() []float64 {
+	return []float64{0, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1}
+}
+
+var allExperiments = []string{
+	"fig4", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "table2", "table3",
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fesiabench: ")
+	exp := flag.String("exp", "", "experiment id (fig4..fig14, table2, table3)")
+	all := flag.Bool("all", false, "run every experiment")
+	quick := flag.Bool("quick", false, "shrink inputs ~10x for a fast run")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(allExperiments, "\n"))
+		return
+	}
+	fmt.Printf("fesiabench: %s/%s, %d CPU(s), %s, quick=%v\n\n",
+		runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.Version(), *quick)
+	r := &runner{quick: *quick}
+	var ids []string
+	switch {
+	case *all:
+		ids = allExperiments
+	case *exp != "":
+		ids = strings.Split(*exp, ",")
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		start := time.Now()
+		tbl := r.run(id)
+		if tbl == nil {
+			log.Fatalf("unknown experiment %q (use -list)", id)
+		}
+		fmt.Println(tbl.String())
+		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import "testing"
+
+func TestRunnerKnownExperiments(t *testing.T) {
+	r := &runner{quick: true}
+	// Run the cheapest experiments end to end; shapes are asserted in
+	// internal/experiments, here we check the CLI wiring.
+	for _, id := range []string{"fig14", "table2"} {
+		tbl := r.run(id)
+		if tbl == nil {
+			t.Fatalf("run(%q) = nil", id)
+		}
+		if tbl.ID != id || len(tbl.Rows) == 0 {
+			t.Errorf("run(%q): id=%q rows=%d", id, tbl.ID, len(tbl.Rows))
+		}
+		if tbl.String() == "" {
+			t.Errorf("run(%q) renders empty", id)
+		}
+	}
+}
+
+func TestRunnerUnknownExperiment(t *testing.T) {
+	r := &runner{}
+	if tbl := r.run("fig99"); tbl != nil {
+		t.Errorf("unknown id returned %v", tbl)
+	}
+}
+
+func TestAllExperimentsListed(t *testing.T) {
+	want := map[string]bool{
+		"fig4": true, "fig5": true, "fig6": true, "fig7a": true, "fig7b": true,
+		"fig8": true, "fig9": true, "fig10": true, "fig11": true, "fig12": true,
+		"fig13": true, "fig14": true, "table2": true, "table3": true,
+	}
+	if len(allExperiments) != len(want) {
+		t.Fatalf("allExperiments has %d entries, want %d", len(allExperiments), len(want))
+	}
+	for _, id := range allExperiments {
+		if !want[id] {
+			t.Errorf("unexpected experiment id %q", id)
+		}
+	}
+}
+
+func TestQuickScaling(t *testing.T) {
+	r := &runner{quick: true}
+	if got := r.scaleInt(1_000_000); got != 100_000 {
+		t.Errorf("scaleInt quick = %d", got)
+	}
+	if got := r.scaleInt(5000); got != 1000 {
+		t.Errorf("scaleInt floor = %d", got)
+	}
+	full := &runner{}
+	if got := full.scaleInt(1_000_000); got != 1_000_000 {
+		t.Errorf("scaleInt full = %d", got)
+	}
+	if len(r.sizes()) != 4 || len(full.sizes()) != 8 {
+		t.Error("size ladders wrong")
+	}
+}

@@ -1,0 +1,42 @@
+// Command genkernels regenerates the specialized intersection kernel tables
+// in internal/kernels (the zz_gen_*.go files).
+//
+// FESIA precompiles one intersection kernel per segment-size pair and per
+// vector ISA (Section V-A of the paper); this command is that ahead-of-time
+// compilation step for the Go reproduction. Run it from the repository root:
+//
+//	go run ./cmd/genkernels
+//
+// The generated files are checked in, so this only needs to run again when
+// the generator in internal/kernels/kernelgen changes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"fesia/internal/kernels/kernelgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("genkernels: ")
+	outDir := flag.String("out", "internal/kernels", "output directory for generated kernel files")
+	flag.Parse()
+
+	for _, spec := range kernelgen.Specs() {
+		src, err := kernelgen.Generate(spec)
+		if err != nil {
+			log.Fatalf("generating %s: %v", spec.FileName, err)
+		}
+		path := filepath.Join(*outDir, spec.FileName)
+		if err := os.WriteFile(path, src, 0o644); err != nil {
+			log.Fatalf("writing %s: %v", path, err)
+		}
+		fmt.Printf("wrote %s (%d bytes, %s cap=%d stride=%d)\n",
+			path, len(src), spec.ISA.Tag, spec.Cap, spec.Stride)
+	}
+}

@@ -1,0 +1,172 @@
+// Command searchbench runs the database query task of Fig. 12: conjunctive
+// multi-keyword queries against an inverted index over a WebDocs-like
+// corpus, comparing FESIA with the baseline intersection methods.
+//
+// With -fimi it loads a real FIMI-format transaction file (e.g. the WebDocs
+// dataset the paper uses, from http://fimi.cs.helsinki.fi/data/) instead of
+// generating a corpus.
+//
+// Usage:
+//
+//	searchbench [-docs N] [-items M] [-queries Q] [-k KEYWORDS] [-seed S]
+//	            [-fimi FILE [-maxdocs N]]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"time"
+
+	"fesia/internal/baselines"
+	"fesia/internal/core"
+	"fesia/internal/datasets"
+	"fesia/internal/invindex"
+	"fesia/internal/simd"
+)
+
+// sampleAdaptive draws queries under the paper's constraints (posting
+// length >= 64, selectivity < 0.2), relaxing them stepwise when a loaded
+// dataset is too small or too uniform to satisfy them.
+func sampleAdaptive(corpus *datasets.Corpus, rng *rand.Rand, nq, k int) []datasets.Query {
+	for _, c := range []struct {
+		minLen int
+		maxSel float64
+	}{{64, 0.2}, {32, 0.2}, {8, 0.5}, {2, 1.0}} {
+		qs, err := corpus.TrySampleQueries(rng, nq, k, c.minLen, c.maxSel, 0)
+		if err == nil {
+			if c.minLen != 64 || c.maxSel != 0.2 {
+				fmt.Printf("note: relaxed query constraints to minLen=%d selectivity<%.1f\n",
+					c.minLen, c.maxSel)
+			}
+			return qs
+		}
+	}
+	log.Fatalf("corpus cannot produce %d queries with %d keywords", nq, k)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("searchbench: ")
+	docs := flag.Int("docs", 100_000, "documents in the generated corpus")
+	items := flag.Int("items", 200_000, "distinct items in the generated corpus")
+	nq := flag.Int("queries", 50, "queries per scenario")
+	k := flag.Int("k", 2, "keywords per query")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	fimi := flag.String("fimi", "", "load a FIMI transaction file instead of generating")
+	maxDocs := flag.Int("maxdocs", 0, "with -fimi: truncate to N transactions (0 = all)")
+	flag.Parse()
+
+	var corpus *datasets.Corpus
+	if *fimi != "" {
+		fmt.Printf("loading FIMI corpus from %s...\n", *fimi)
+		f, err := os.Open(*fimi)
+		if err != nil {
+			log.Fatal(err)
+		}
+		corpus, err = datasets.ReadFIMI(f, *maxDocs)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("generating corpus (%d docs, %d items)...\n", *docs, *items)
+		corpus = datasets.NewCorpus(datasets.CorpusConfig{
+			NumDocs: *docs, NumItems: *items, MeanLen: 40, Seed: *seed,
+		})
+	}
+	start := time.Now()
+	ix, err := invindex.FromCorpus(corpus, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %d posting lists, built in %.2fs\n\n",
+		ix.NumItems(), time.Since(start).Seconds())
+
+	rng := rand.New(rand.NewSource(*seed))
+	queries := sampleAdaptive(corpus, rng, *nq, *k)
+
+	type method struct {
+		name string
+		run  func() int
+	}
+	itemSets := make([][]uint32, len(queries))
+	lists := make([][][]uint32, len(queries))
+	for i, q := range queries {
+		itemSets[i] = q.Items
+		lists[i] = q.Postings
+	}
+	methods := []method{
+		{"Scalar", func() int {
+			n := 0
+			for _, l := range lists {
+				n += baselines.CountScalarK(l)
+			}
+			return n
+		}},
+		{"Shuffling", func() int {
+			n := 0
+			for _, l := range lists {
+				n += baselines.CountShufflingK(simd.WidthAVX, l)
+			}
+			return n
+		}},
+		{"BMiss", func() int {
+			n := 0
+			for _, l := range lists {
+				n += baselines.CountBMissK(l)
+			}
+			return n
+		}},
+		{"Galloping", func() int {
+			n := 0
+			for _, l := range lists {
+				n += baselines.CountScalarGallopingK(l)
+			}
+			return n
+		}},
+		{"Hash", func() int {
+			n := 0
+			for _, l := range lists {
+				n += baselines.CountHashK(l)
+			}
+			return n
+		}},
+		{"FESIA", func() int {
+			n := 0
+			for _, it := range itemSets {
+				n += ix.QueryCount(it...)
+			}
+			return n
+		}},
+	}
+
+	fmt.Printf("%d queries x %d keywords:\n", len(queries), *k)
+	var want int
+	var scalarTime time.Duration
+	for i, m := range methods {
+		// Best of 5 timed rounds.
+		best := time.Duration(1 << 62)
+		total := 0
+		for round := 0; round < 5; round++ {
+			t0 := time.Now()
+			total = m.run()
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		if i == 0 {
+			want = total
+			scalarTime = best
+		} else if total != want {
+			log.Fatalf("%s disagrees: %d matches vs scalar %d", m.name, total, want)
+		}
+		fmt.Printf("  %-10s %8.2fms total (%6.2fus/query)  speedup %.2fx  [%d total matches]\n",
+			m.name, float64(best.Microseconds())/1000,
+			float64(best.Microseconds())/float64(len(queries)),
+			float64(scalarTime)/float64(best), total)
+	}
+}

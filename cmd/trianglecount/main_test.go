@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestReadEdges(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edges.txt")
+	content := `# SNAP-style comment
+0 1
+1 2
+2 0
+2 0
+3 3
+1	2
+5 4
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nodes, edges, err := readEdges(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dedup (2 0 twice, 1 2 in both orders), self-loop dropped (3 3),
+	// canonical orientation (5 4 -> 4 5).
+	if len(edges) != 4 {
+		t.Fatalf("edges = %v, want 4", edges)
+	}
+	if nodes != 6 {
+		t.Fatalf("nodes = %d, want 6 (max id 5 + 1)", nodes)
+	}
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Errorf("edge %v not canonical", e)
+		}
+	}
+}
+
+func TestReadEdgesErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(bad, []byte("0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readEdges(bad); err == nil {
+		t.Error("single-field line should fail")
+	}
+	if err := os.WriteFile(bad, []byte("a b\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := readEdges(bad); err == nil {
+		t.Error("non-numeric should fail")
+	}
+	if _, _, err := readEdges(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,60 @@
+package fesia_test
+
+import (
+	"fmt"
+
+	"fesia"
+)
+
+func ExampleBuild() {
+	set, err := fesia.Build([]uint32{3, 1, 4, 1, 5, 9, 2, 6})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(set.Len(), set.Contains(5), set.Contains(7))
+	// Output: 7 true false
+}
+
+func ExampleIntersect() {
+	a := fesia.MustBuild([]uint32{1, 4, 15, 21, 32, 34})
+	b := fesia.MustBuild([]uint32{2, 6, 12, 16, 21, 23})
+	fmt.Println(fesia.Intersect(a, b))
+	// Output: [21]
+}
+
+func ExampleIntersectK() {
+	a := fesia.MustBuild([]uint32{1, 2, 3, 4, 5})
+	b := fesia.MustBuild([]uint32{2, 3, 4, 5, 6})
+	c := fesia.MustBuild([]uint32{3, 4, 5, 6, 7})
+	fmt.Println(fesia.IntersectK(a, b, c))
+	// Output: [3 4 5]
+}
+
+func ExampleHashCount() {
+	// When one set is much smaller, the hash-probe strategy touches only
+	// the small set's elements: O(min(n1, n2)).
+	small := fesia.MustBuild([]uint32{10, 501, 900})
+	large := fesia.MustBuild(rangeSet(0, 1000, 2)) // evens below 1000
+	fmt.Println(fesia.HashCount(small, large))
+	// Output: 2
+}
+
+func ExampleBuildBatch() {
+	sets, err := fesia.BuildBatch([][]uint32{
+		{1, 2, 3},
+		{2, 3, 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(fesia.IntersectCount(sets[0], sets[1]))
+	// Output: 2
+}
+
+func rangeSet(lo, hi, step uint32) []uint32 {
+	var out []uint32
+	for v := lo; v < hi; v += step {
+		out = append(out, v)
+	}
+	return out
+}

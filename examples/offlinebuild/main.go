@@ -1,0 +1,86 @@
+// Offline build workflow: construct FESIA sets once, persist them, and load
+// them in a query process — the deployment model the paper's evaluation
+// assumes ("the data structure of our approach is built offline",
+// Section VII-A).
+//
+// Run with:
+//
+//	go run ./examples/offlinebuild
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fesia"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "fesia-offline")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// --- Offline: build and persist a large set. ---
+	rng := rand.New(rand.NewSource(1))
+	elems := make([]uint32, 1_000_000)
+	for i := range elems {
+		elems[i] = rng.Uint32()
+	}
+	start := time.Now()
+	set := fesia.MustBuild(elems, fesia.WithSeed(42))
+	buildTime := time.Since(start)
+
+	path := filepath.Join(dir, "set.fesia")
+	f, err := os.Create(path)
+	if err != nil {
+		panic(err)
+	}
+	written, err := set.WriteTo(f)
+	if err != nil {
+		panic(err)
+	}
+	if err := f.Close(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("offline: built %d elements in %v, serialized %d bytes (%.1f bytes/element)\n",
+		set.Len(), buildTime.Round(time.Millisecond), written, float64(written)/float64(set.Len()))
+
+	// --- Online: load and query. ---
+	g, err := os.Open(path)
+	if err != nil {
+		panic(err)
+	}
+	start = time.Now()
+	loaded, err := fesia.ReadSet(g)
+	g.Close()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("online: loaded and validated in %v\n", time.Since(start).Round(time.Millisecond))
+
+	// Query against a freshly built set — only the seed must match.
+	probe := fesia.MustBuild(elems[:5000], fesia.WithSeed(42))
+	start = time.Now()
+	common := fesia.IntersectCount(loaded, probe)
+	fmt.Printf("query: |loaded ∩ probe| = %d in %v (adaptive strategy: skewed -> hash probe)\n",
+		common, time.Since(start).Round(time.Microsecond))
+
+	// Corruption is detected at load time, not at query time.
+	var buf bytes.Buffer
+	if _, err := set.WriteTo(&buf); err != nil {
+		panic(err)
+	}
+	raw := buf.Bytes()
+	raw[len(raw)/2] ^= 0xFF
+	if _, err := fesia.ReadSet(bytes.NewReader(raw)); err != nil {
+		fmt.Printf("corruption check: %v\n", err)
+	} else {
+		fmt.Println("corruption check: flipped byte happened to keep the structure valid")
+	}
+}

@@ -1,0 +1,210 @@
+package fesia
+
+import (
+	"io"
+	"slices"
+
+	"fesia/internal/core"
+	"fesia/internal/simd"
+)
+
+// Width selects the emulated vector ISA a set is built for.
+type Width = simd.Width
+
+// Supported ISA widths.
+const (
+	SSE    = simd.WidthSSE
+	AVX    = simd.WidthAVX
+	AVX512 = simd.WidthAVX512
+)
+
+// Set is an immutable FESIA set: a segmented bitmap plus the reordered
+// element array (Fig. 1 of the paper). Build once, intersect many times;
+// Sets are safe for concurrent use.
+type Set struct {
+	inner *core.Set
+}
+
+// Option customizes Build.
+type Option func(*core.Config)
+
+// WithWidth selects the emulated vector ISA (SSE, AVX, AVX512).
+// Default: AVX.
+func WithWidth(w Width) Option {
+	return func(c *core.Config) { c.Width = w }
+}
+
+// WithSegmentBits sets the segment size s in bits (8, 16 or 32). Smaller
+// segments shift work from the kernels to the bitmap scan (Fig. 14).
+// Default: 8.
+func WithSegmentBits(s int) Option {
+	return func(c *core.Config) { c.SegBits = s }
+}
+
+// WithBitmapScale overrides the bitmap bits-per-element factor (default √w,
+// the paper's m = n·√w). Larger bitmaps reduce false-positive segment
+// matches at the cost of a longer bitmap scan.
+func WithBitmapScale(scale float64) Option {
+	return func(c *core.Config) { c.Scale = scale }
+}
+
+// WithSeed salts the hash function. Sets intersected together must share a
+// seed.
+func WithSeed(seed uint64) Option {
+	return func(c *core.Config) { c.Seed = seed }
+}
+
+// WithKernelStride samples the specialized-kernel sizes at the given stride
+// (1, 4 or 8), shrinking the kernel jump table as in Section VI / Table II.
+// Strides above 1 require AVX512.
+func WithKernelStride(stride int) Option {
+	return func(c *core.Config) { c.Stride = stride }
+}
+
+// Build preprocesses elems (unsorted, duplicates allowed) into a Set.
+func Build(elems []uint32, opts ...Option) (*Set, error) {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s, err := core.NewSet(elems, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Set{inner: s}, nil
+}
+
+// MustBuild is Build for known-good options; it panics on error.
+func MustBuild(elems []uint32, opts ...Option) *Set {
+	s, err := Build(elems, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// BuildBatch builds one Set per input list with all backing arrays packed
+// into shared arenas. Prefer it when constructing many small sets that will
+// be intersected against each other — per-vertex neighbor sets, per-keyword
+// posting lists — for better query-time memory locality.
+func BuildBatch(lists [][]uint32, opts ...Option) ([]*Set, error) {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	inner, err := core.NewSetBatch(lists, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sets := make([]*Set, len(inner))
+	for i, s := range inner {
+		sets[i] = &Set{inner: s}
+	}
+	return sets, nil
+}
+
+// Len returns the number of distinct elements in the set.
+func (s *Set) Len() int { return s.inner.Len() }
+
+// Contains reports membership via a single bitmap probe plus one segment
+// scan — O(1) expected.
+func (s *Set) Contains(x uint32) bool { return s.inner.Contains(x) }
+
+// Elements returns the distinct elements in ascending order.
+func (s *Set) Elements() []uint32 { return s.inner.Elements() }
+
+// BitmapBits returns m, the size of the set's bitmap in bits.
+func (s *Set) BitmapBits() uint64 { return s.inner.BitmapBits() }
+
+// MemoryBytes returns the approximate footprint of the structure.
+func (s *Set) MemoryBytes() int { return s.inner.MemoryBytes() }
+
+// Stats reports segmented-bitmap layout statistics (segment occupancy,
+// bit density) — the quantities to inspect when tuning WithBitmapScale and
+// WithSegmentBits.
+type Stats = core.Stats
+
+// Stats computes layout statistics for the set.
+func (s *Set) Stats() Stats { return s.inner.Stats() }
+
+// WriteTo serializes the set (construction is the expensive offline step;
+// the serialized form can be shipped to query servers and loaded with
+// ReadSet). It implements io.WriterTo.
+func (s *Set) WriteTo(w io.Writer) (int64, error) { return s.inner.WriteTo(w) }
+
+// ReadSet deserializes a Set written by Set.WriteTo, validating structural
+// invariants; corrupted input yields an error.
+func ReadSet(r io.Reader) (*Set, error) {
+	inner, err := core.ReadSet(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Set{inner: inner}, nil
+}
+
+// IntersectCount returns |a ∩ b|, choosing between the two-step merge and
+// the hash-probe strategy based on the input size ratio (Section VI).
+func IntersectCount(a, b *Set) int { return core.Count(a.inner, b.inner) }
+
+// Intersect returns a ∩ b in ascending order.
+func Intersect(a, b *Set) []uint32 {
+	dst := make([]uint32, min(a.Len(), b.Len()))
+	n := core.Intersect(dst, a.inner, b.inner)
+	out := dst[:n]
+	slices.Sort(out)
+	return out
+}
+
+// MergeCount forces the two-step FESIAmerge strategy (Algorithm 1).
+func MergeCount(a, b *Set) int { return core.CountMerge(a.inner, b.inner) }
+
+// HashCount forces the per-element FESIAhash strategy, O(min(n1, n2)).
+func HashCount(a, b *Set) int { return core.CountHash(a.inner, b.inner) }
+
+// IntersectCountK returns |s1 ∩ ... ∩ sk| with the k-way algorithm of
+// Section VI, O(kn/√w + r).
+func IntersectCountK(sets ...*Set) int {
+	return core.CountK(unwrap(sets)...)
+}
+
+// IntersectK returns the k-way intersection in ascending order.
+func IntersectK(sets ...*Set) []uint32 {
+	inner := unwrap(sets)
+	minLen := inner[0].Len()
+	for _, s := range inner[1:] {
+		minLen = min(minLen, s.Len())
+	}
+	dst := make([]uint32, minLen)
+	n := core.IntersectK(dst, inner...)
+	out := dst[:n]
+	slices.Sort(out)
+	return out
+}
+
+// IntersectCountParallel runs the two-step intersection across `workers`
+// goroutines by partitioning the bitmap (Section VI, multicore).
+func IntersectCountParallel(a, b *Set, workers int) int {
+	return core.CountMergeParallel(a.inner, b.inner, workers)
+}
+
+// IntersectCountKParallel runs the k-way intersection across `workers`
+// goroutines.
+func IntersectCountKParallel(workers int, sets ...*Set) int {
+	return core.CountKParallel(workers, unwrap(sets)...)
+}
+
+// Breakdown reports per-step timing of one merge intersection (Fig. 14).
+type Breakdown = core.Breakdown
+
+// IntersectCountBreakdown runs MergeCount with per-step instrumentation.
+func IntersectCountBreakdown(a, b *Set) Breakdown {
+	return core.CountMergeBreakdown(a.inner, b.inner)
+}
+
+func unwrap(sets []*Set) []*core.Set {
+	inner := make([]*core.Set, len(sets))
+	for i, s := range sets {
+		inner[i] = s.inner
+	}
+	return inner
+}

@@ -1,0 +1,3 @@
+module fesia
+
+go 1.22

@@ -1,0 +1,270 @@
+package baselines
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fesia/internal/simd"
+)
+
+func refCount(a, b []uint32) int {
+	in := make(map[uint32]bool, len(a))
+	for _, v := range a {
+		in[v] = true
+	}
+	r := 0
+	for _, v := range b {
+		if in[v] {
+			r++
+		}
+	}
+	return r
+}
+
+func sortedSet(rng *rand.Rand, n int, universe uint32) []uint32 {
+	seen := make(map[uint32]bool, n)
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		v := rng.Uint32() % universe
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// counters under test, all expected to equal refCount on sorted distinct sets.
+var counters = []struct {
+	name string
+	fn   func(a, b []uint32) int
+}{
+	{"ScalarBranchy", CountScalarBranchy},
+	{"Scalar", CountScalar},
+	{"ScalarGalloping", CountScalarGalloping},
+	{"BMiss", CountBMiss},
+	{"Hash", CountHash},
+	{"SIMDGallopingSSE", func(a, b []uint32) int { return CountSIMDGalloping(simd.WidthSSE, a, b) }},
+	{"SIMDGallopingAVX", func(a, b []uint32) int { return CountSIMDGalloping(simd.WidthAVX, a, b) }},
+	{"SIMDGallopingAVX512", func(a, b []uint32) int { return CountSIMDGalloping(simd.WidthAVX512, a, b) }},
+	{"ShufflingSSE", func(a, b []uint32) int { return CountShuffling(simd.WidthSSE, a, b) }},
+	{"ShufflingAVX", func(a, b []uint32) int { return CountShuffling(simd.WidthAVX, a, b) }},
+	{"ShufflingAVX512", func(a, b []uint32) int { return CountShuffling(simd.WidthAVX512, a, b) }},
+}
+
+func TestCountersAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := []struct{ na, nb int }{
+		{0, 0}, {0, 10}, {1, 1}, {5, 5}, {16, 16}, {100, 100},
+		{7, 1000}, {1000, 7}, {500, 512}, {1000, 1000}, {123, 4567},
+	}
+	for _, c := range counters {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			for _, sh := range shapes {
+				for trial := 0; trial < 4; trial++ {
+					universe := uint32(2*(sh.na+sh.nb) + 16)
+					if trial%2 == 1 {
+						universe *= 100 // sparse: few collisions
+					}
+					a := sortedSet(rng, sh.na, universe)
+					b := sortedSet(rng, sh.nb, universe)
+					want := refCount(a, b)
+					if got := c.fn(a, b); got != want {
+						t.Fatalf("%s(%d,%d,u=%d) = %d, want %d\na=%v\nb=%v",
+							c.name, sh.na, sh.nb, universe, got, want, a, b)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMaterializingForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	type matFn struct {
+		name string
+		fn   func(dst, a, b []uint32) int
+	}
+	mats := []matFn{
+		{"Scalar", IntersectScalar},
+		{"ScalarGalloping", IntersectScalarGalloping},
+		{"BMiss", IntersectBMiss},
+		{"ShufflingSSE", func(dst, a, b []uint32) int { return IntersectShuffling(simd.WidthSSE, dst, a, b) }},
+	}
+	for _, m := range mats {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			for trial := 0; trial < 50; trial++ {
+				na := rng.Intn(300)
+				nb := rng.Intn(300)
+				universe := uint32(na + nb + 50)
+				a := sortedSet(rng, na, universe)
+				b := sortedSet(rng, nb, universe)
+				want := refCount(a, b)
+				dst := make([]uint32, min(na, nb)+1)
+				n := m.fn(dst, a, b)
+				if n != want {
+					t.Fatalf("%s count = %d, want %d", m.name, n, want)
+				}
+				for i := 1; i < n; i++ {
+					if dst[i-1] >= dst[i] {
+						t.Fatalf("%s output not ascending: %v", m.name, dst[:n])
+					}
+				}
+				for _, v := range dst[:n] {
+					if refCount([]uint32{v}, a) != 1 || refCount([]uint32{v}, b) != 1 {
+						t.Fatalf("%s emitted non-member %d", m.name, v)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestKWayVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	kways := []struct {
+		name string
+		fn   func(sets [][]uint32) int
+	}{
+		{"ScalarK", CountScalarK},
+		{"GallopingK", CountScalarGallopingK},
+		{"BMissK", CountBMissK},
+		{"HashK", CountHashK},
+		{"ShufflingK", func(sets [][]uint32) int { return CountShufflingK(simd.WidthAVX, sets) }},
+	}
+	for _, kw := range kways {
+		kw := kw
+		t.Run(kw.name, func(t *testing.T) {
+			for _, k := range []int{1, 2, 3, 4} {
+				for trial := 0; trial < 10; trial++ {
+					sets := make([][]uint32, k)
+					universe := uint32(600)
+					for i := range sets {
+						sets[i] = sortedSet(rng, 100+rng.Intn(200), universe)
+					}
+					want := sets[0]
+					for i := 1; i < k; i++ {
+						var tmp []uint32
+						for _, v := range want {
+							if refCount([]uint32{v}, sets[i]) == 1 {
+								tmp = append(tmp, v)
+							}
+						}
+						want = tmp
+					}
+					if got := kw.fn(sets); got != len(want) {
+						t.Fatalf("%s(k=%d) = %d, want %d", kw.name, k, got, len(want))
+					}
+				}
+			}
+		})
+	}
+	for _, kw := range kways {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s(empty) should panic", kw.name)
+				}
+			}()
+			kw.fn(nil)
+		}()
+	}
+}
+
+func TestGallopLowerBound(t *testing.T) {
+	s := []uint32{2, 4, 6, 8, 10, 12, 14}
+	cases := []struct {
+		lo   int
+		x    uint32
+		want int
+	}{
+		{0, 1, 0}, {0, 2, 0}, {0, 3, 1}, {0, 14, 6}, {0, 15, 7},
+		{3, 7, 3}, {3, 9, 4}, {6, 14, 6}, {7, 99, 7},
+	}
+	for _, c := range cases {
+		if got := gallopLowerBound(s, c.lo, c.x); got != c.want {
+			t.Errorf("gallopLowerBound(lo=%d, x=%d) = %d, want %d", c.lo, c.x, got, c.want)
+		}
+	}
+}
+
+// Property: gallopLowerBound equals sort.Search from any starting offset.
+func TestGallopLowerBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := sortedSet(r, r.Intn(200), 500)
+		lo := 0
+		if len(s) > 0 {
+			lo = r.Intn(len(s))
+		}
+		x := uint32(r.Intn(520))
+		want := lo + sort.Search(len(s)-lo, func(i int) bool { return s[lo+i] >= x })
+		return gallopLowerBound(s, lo, x) == want
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashTable(t *testing.T) {
+	elems := []uint32{0, 1, 5, 1 << 31, ^uint32(0)}
+	ht := BuildHashTable(elems)
+	if ht.Len() != len(elems) {
+		t.Errorf("Len = %d, want %d", ht.Len(), len(elems))
+	}
+	for _, x := range elems {
+		if !ht.Contains(x) {
+			t.Errorf("Contains(%d) = false", x)
+		}
+	}
+	for _, x := range []uint32{2, 3, 4, 100, 1<<31 - 1} {
+		if ht.Contains(x) {
+			t.Errorf("Contains(%d) = true", x)
+		}
+	}
+	// Duplicates collapse.
+	if BuildHashTable([]uint32{7, 7, 7}).Len() != 1 {
+		t.Error("duplicates should collapse")
+	}
+	// Empty table.
+	if BuildHashTable(nil).CountProbe([]uint32{1, 2}) != 0 {
+		t.Error("empty table probe should be 0")
+	}
+	dst := make([]uint32, 2)
+	if n := ht.IntersectProbe(dst, []uint32{3, 5, 9, 0}); n != 2 || dst[0] != 5 || dst[1] != 0 {
+		t.Errorf("IntersectProbe = %v (n=%d)", dst[:n], n)
+	}
+}
+
+// Property: every counter agrees with every other on random inputs (pairwise
+// cross-validation, catching shared-reference bugs).
+func TestCrossValidationQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := sortedSet(r, r.Intn(400), 1024)
+		b := sortedSet(r, r.Intn(400), 1024)
+		want := refCount(a, b)
+		for _, c := range counters {
+			if c.fn(a, b) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestB2U(t *testing.T) {
+	if b2u(true) != 1 || b2u(false) != 0 {
+		t.Error("b2u wrong")
+	}
+}

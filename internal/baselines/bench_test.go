@@ -1,0 +1,85 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fesia/internal/simd"
+)
+
+var benchSink int
+
+// BenchmarkMethods2Way measures every 2-way counting method on equal-size
+// inputs at 1% selectivity.
+func BenchmarkMethods2Way(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1000, 100_000} {
+		x := sortedSet(rng, n, uint32(16*n))
+		y := sortedSet(rng, n, uint32(16*n))
+		ht := BuildHashTable(y)
+		fx, fy := NewFastSet(x), NewFastSet(y)
+		methods := []struct {
+			name string
+			fn   func() int
+		}{
+			{"ScalarBranchy", func() int { return CountScalarBranchy(x, y) }},
+			{"Scalar", func() int { return CountScalar(x, y) }},
+			{"ScalarGalloping", func() int { return CountScalarGalloping(x, y) }},
+			{"SIMDGalloping", func() int { return CountSIMDGalloping(simd.WidthAVX, x, y) }},
+			{"BMiss", func() int { return CountBMiss(x, y) }},
+			{"Shuffling", func() int { return CountShuffling(simd.WidthAVX, x, y) }},
+			{"HashProbe", func() int { return ht.CountProbe(x) }},
+			{"Fast", func() int { return CountFast(fx, fy) }},
+		}
+		for _, m := range methods {
+			b.Run(fmt.Sprintf("n=%d/%s", n, m.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					benchSink += m.fn()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSkewedGalloping shows galloping's O(n1 log n2) advantage on
+// heavily skewed inputs.
+func BenchmarkSkewedGalloping(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	small := sortedSet(rng, 100, 1<<24)
+	large := sortedSet(rng, 1_000_000, 1<<24)
+	b.Run("ScalarMerge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink += CountScalar(small, large)
+		}
+	})
+	b.Run("ScalarGalloping", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink += CountScalarGalloping(small, large)
+		}
+	})
+	b.Run("SIMDGalloping", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink += CountSIMDGalloping(simd.WidthAVX, small, large)
+		}
+	})
+}
+
+func BenchmarkHashTableBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	elems := sortedSet(rng, 100_000, 1<<24)
+	for i := 0; i < b.N; i++ {
+		benchSink += BuildHashTable(elems).Len()
+	}
+}
+
+func BenchmarkFastSetBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	elems := make([]uint32, 100_000)
+	for i := range elems {
+		elems[i] = rng.Uint32()
+	}
+	for i := 0; i < b.N; i++ {
+		benchSink += NewFastSet(elems).Len()
+	}
+}

@@ -1,0 +1,188 @@
+package baselines
+
+import (
+	"fesia/internal/hashutil"
+)
+
+// Fast [4] (Ding & König, PVLDB 2011) is the bitmap-based predecessor FESIA
+// builds on: elements are hashed into an m-bit bitmap (m ≈ n·√w for machine
+// word size w), the bitmaps of two sets are ANDed word by word, and for
+// every non-zero word the elements mapped to that word are verified with a
+// scalar merge. It achieves the same O(n/√w + r) bound as FESIA but — as
+// Table I of the FESIA paper notes — does not use SIMD: the word size is
+// the 64-bit machine word, the groups are word-sized (no segment
+// transformation), and verification is scalar. It is the natural ablation
+// point between scalar merge and FESIA.
+
+// FastSet is the preprocessed form of one set for the Fast algorithm.
+type FastSet struct {
+	words   []uint64
+	offsets []uint32 // per-word group offsets into reordered (len = #words+1)
+	elems   []uint32 // elements grouped by word, sorted within each group
+	n       int
+	hasher  hashutil.Hasher
+}
+
+// fastWordBits is the "SIMD width" of Fast: the machine word.
+const fastWordBits = 64
+
+// NewFastSet preprocesses a set (unsorted, duplicates allowed) for Fast
+// intersection. All FastSets that will be intersected must be built by this
+// function (they share one hash function).
+func NewFastSet(elems []uint32) *FastSet {
+	sorted := append([]uint32(nil), elems...)
+	insertionSortU32(sorted)
+	k := 0
+	for i, v := range sorted {
+		if i == 0 || v != sorted[k-1] {
+			sorted[k] = v
+			k++
+		}
+	}
+	sorted = sorted[:k]
+	n := len(sorted)
+
+	// m = n·√w rounded to a power of two, at least one word.
+	mBits := hashutil.NextPow2(uint64(n) * 8) // √64 = 8
+	if mBits < fastWordBits {
+		mBits = fastWordBits
+	}
+	nWords := int(mBits) / fastWordBits
+
+	f := &FastSet{
+		words:   make([]uint64, nWords),
+		offsets: make([]uint32, nWords+1),
+		elems:   make([]uint32, n),
+		n:       n,
+		hasher:  hashutil.New(0xFA57),
+	}
+	counts := make([]uint32, nWords)
+	wordOf := make([]int32, n)
+	for i, x := range sorted {
+		pos := f.hasher.Pos(x, mBits)
+		f.words[pos>>6] |= 1 << (pos & 63)
+		wordOf[i] = int32(pos >> 6)
+		counts[pos>>6]++
+	}
+	sum := uint32(0)
+	for i, c := range counts {
+		f.offsets[i] = sum
+		sum += c
+	}
+	f.offsets[nWords] = sum
+	next := append([]uint32(nil), f.offsets[:nWords]...)
+	for i, x := range sorted {
+		w := wordOf[i]
+		f.elems[next[w]] = x
+		next[w]++
+	}
+	return f
+}
+
+// insertionSortU32 sorts small-to-medium slices without pulling in
+// sort.Slice's reflection for the hot preprocessing path.
+func insertionSortU32(s []uint32) {
+	if len(s) > 64 {
+		quickSortU32(s)
+		return
+	}
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+func quickSortU32(s []uint32) {
+	for len(s) > 64 {
+		p := partitionU32(s)
+		if p < len(s)-p {
+			quickSortU32(s[:p])
+			s = s[p:]
+		} else {
+			quickSortU32(s[p:])
+			s = s[:p]
+		}
+	}
+	insertionSortU32(s)
+}
+
+func partitionU32(s []uint32) int {
+	// Median-of-three pivot.
+	mid := len(s) / 2
+	if s[0] > s[mid] {
+		s[0], s[mid] = s[mid], s[0]
+	}
+	if s[mid] > s[len(s)-1] {
+		s[mid], s[len(s)-1] = s[len(s)-1], s[mid]
+		if s[0] > s[mid] {
+			s[0], s[mid] = s[mid], s[0]
+		}
+	}
+	pivot := s[mid]
+	i, j := 0, len(s)-1
+	for {
+		for s[i] < pivot {
+			i++
+		}
+		for s[j] > pivot {
+			j--
+		}
+		if i >= j {
+			return j + 1
+		}
+		s[i], s[j] = s[j], s[i]
+		i++
+		j--
+	}
+}
+
+// Len returns the number of distinct elements.
+func (f *FastSet) Len() int { return f.n }
+
+// group returns the sorted elements hashed into word w.
+func (f *FastSet) group(w int) []uint32 {
+	return f.elems[f.offsets[w]:f.offsets[w+1]]
+}
+
+// CountFast returns |a ∩ b|: word-wise bitmap AND, scalar merge on the
+// groups of the surviving words. Bitmap sizes may differ (powers of two;
+// the smaller wraps, as in FESIA's Section III-C, which Fast's hashing
+// scheme also supports because positions are low bits of one hash).
+func CountFast(a, b *FastSet) int {
+	x, y := a, b
+	if len(x.words) < len(y.words) {
+		x, y = y, x
+	}
+	wordMask := len(y.words) - 1
+	r := 0
+	for i, wx := range x.words {
+		if wx&y.words[i&wordMask] == 0 {
+			continue
+		}
+		r += CountScalar(x.group(i), y.group(i&wordMask))
+	}
+	return r
+}
+
+// IntersectFast writes a ∩ b into dst (group order; ascending within each
+// group) and returns the count.
+func IntersectFast(dst []uint32, a, b *FastSet) int {
+	x, y := a, b
+	if len(x.words) < len(y.words) {
+		x, y = y, x
+	}
+	wordMask := len(y.words) - 1
+	r := 0
+	for i, wx := range x.words {
+		if wx&y.words[i&wordMask] == 0 {
+			continue
+		}
+		r += IntersectScalar(dst[r:], x.group(i), y.group(i&wordMask))
+	}
+	return r
+}

@@ -1,0 +1,143 @@
+package baselines
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFastSetBasics(t *testing.T) {
+	f := NewFastSet([]uint32{5, 1, 5, 9, 1})
+	if f.Len() != 3 {
+		t.Errorf("Len = %d, want 3 (dedup)", f.Len())
+	}
+	total := 0
+	for w := 0; w < len(f.words); w++ {
+		g := f.group(w)
+		total += len(g)
+		for i := 1; i < len(g); i++ {
+			if g[i-1] >= g[i] {
+				t.Errorf("group %d not ascending: %v", w, g)
+			}
+		}
+	}
+	if total != 3 {
+		t.Errorf("groups hold %d elements", total)
+	}
+	empty := NewFastSet(nil)
+	if empty.Len() != 0 || len(empty.words) != 1 {
+		t.Errorf("empty FastSet: len=%d words=%d", empty.Len(), len(empty.words))
+	}
+}
+
+func TestCountFastAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := []struct{ na, nb int }{
+		{0, 0}, {0, 50}, {1, 1}, {10, 10}, {100, 100},
+		{5, 5000}, {5000, 5}, {2000, 2000},
+	}
+	for _, sh := range shapes {
+		for trial := 0; trial < 4; trial++ {
+			universe := uint32(2*(sh.na+sh.nb) + 16)
+			if trial%2 == 1 {
+				universe *= 64
+			}
+			ea := sortedSet(rng, sh.na, universe)
+			eb := sortedSet(rng, sh.nb, universe)
+			want := refCount(ea, eb)
+			fa, fb := NewFastSet(ea), NewFastSet(eb)
+			if got := CountFast(fa, fb); got != want {
+				t.Fatalf("CountFast(%d,%d) = %d, want %d", sh.na, sh.nb, got, want)
+			}
+			if got := CountFast(fb, fa); got != want {
+				t.Fatalf("CountFast swapped = %d, want %d", got, want)
+			}
+			dst := make([]uint32, min(sh.na, sh.nb)+1)
+			n := IntersectFast(dst, fa, fb)
+			if n != want {
+				t.Fatalf("IntersectFast = %d, want %d", n, want)
+			}
+			got := append([]uint32(nil), dst[:n]...)
+			sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+			for _, v := range got {
+				if refCount([]uint32{v}, ea) != 1 || refCount([]uint32{v}, eb) != 1 {
+					t.Fatalf("IntersectFast emitted non-member %d", v)
+				}
+			}
+		}
+	}
+}
+
+// Property: Fast agrees with scalar merge on arbitrary inputs, including
+// unsorted input with duplicates (NewFastSet normalizes).
+func TestFastQuick(t *testing.T) {
+	f := func(ea, eb []uint32) bool {
+		if len(ea) > 2000 {
+			ea = ea[:2000]
+		}
+		if len(eb) > 2000 {
+			eb = eb[:2000]
+		}
+		fa, fb := NewFastSet(ea), NewFastSet(eb)
+		want := refCount(dedupSorted(ea), dedupSorted(eb))
+		return CountFast(fa, fb) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func dedupSorted(s []uint32) []uint32 {
+	out := append([]uint32(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	k := 0
+	for i, v := range out {
+		if i == 0 || v != out[k-1] {
+			out[k] = v
+			k++
+		}
+	}
+	return out[:k]
+}
+
+func TestSortHelpers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(500)
+		s := make([]uint32, n)
+		for i := range s {
+			s[i] = rng.Uint32() % 1000
+		}
+		want := append([]uint32(nil), s...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		insertionSortU32(s)
+		for i := range want {
+			if s[i] != want[i] {
+				t.Fatalf("sort mismatch at %d (n=%d)", i, n)
+			}
+		}
+	}
+	// Adversarial patterns for the quicksort path.
+	for _, gen := range []func(i, n int) uint32{
+		func(i, n int) uint32 { return uint32(i) },          // sorted
+		func(i, n int) uint32 { return uint32(n - i) },      // reversed
+		func(i, n int) uint32 { return 7 },                  // constant
+		func(i, n int) uint32 { return uint32(i % 2) },      // two values
+		func(i, n int) uint32 { return uint32(i * i % 97) }, // repeats
+	} {
+		n := 500
+		s := make([]uint32, n)
+		for i := range s {
+			s[i] = gen(i, n)
+		}
+		want := append([]uint32(nil), s...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		insertionSortU32(s)
+		for i := range want {
+			if s[i] != want[i] {
+				t.Fatalf("adversarial sort mismatch at %d", i)
+			}
+		}
+	}
+}

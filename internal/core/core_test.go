@@ -1,0 +1,592 @@
+package core
+
+import (
+	"math/rand"
+
+	"fesia/internal/bitmap"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fesia/internal/simd"
+)
+
+// refIntersect is the scalar ground truth.
+func refIntersect(a, b []uint32) []uint32 {
+	in := make(map[uint32]bool, len(a))
+	for _, v := range a {
+		in[v] = true
+	}
+	var out []uint32
+	seen := make(map[uint32]bool)
+	for _, v := range b {
+		if in[v] && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func randSet(rng *rand.Rand, n int, universe uint32) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = rng.Uint32() % universe
+	}
+	return out // may contain duplicates; NewSet dedups
+}
+
+func sortedCopy(s []uint32) []uint32 {
+	out := append([]uint32(nil), s...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestConfigNormalize(t *testing.T) {
+	cfg, err := Config{}.normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Width != simd.WidthAVX || cfg.SegBits != 8 || cfg.Stride != 1 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	if cfg.Scale < 15.9 || cfg.Scale > 16.1 {
+		t.Errorf("default scale = %v, want sqrt(256)=16", cfg.Scale)
+	}
+	bad := []Config{
+		{Width: 99},
+		{SegBits: 7},
+		{Scale: -1},
+		{Width: simd.WidthSSE, Stride: 4},
+		{Width: simd.WidthAVX512, Stride: 3},
+	}
+	for _, c := range bad {
+		if _, err := c.normalize(); err == nil {
+			t.Errorf("config %+v should be rejected", c)
+		}
+	}
+	// Valid strided config.
+	if _, err := (Config{Width: simd.WidthAVX512, Stride: 8}).normalize(); err != nil {
+		t.Errorf("AVX512 stride 8 rejected: %v", err)
+	}
+}
+
+func TestNewSetBasics(t *testing.T) {
+	s := MustNewSet([]uint32{5, 3, 5, 9, 3, 1}, DefaultConfig())
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4 (dedup)", s.Len())
+	}
+	want := []uint32{1, 3, 5, 9}
+	got := s.Elements()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Elements = %v, want %v", got, want)
+		}
+	}
+	if s.BitmapBits() < 64 || s.BitmapBits()&(s.BitmapBits()-1) != 0 {
+		t.Errorf("BitmapBits = %d, want power of two >= 64", s.BitmapBits())
+	}
+	if s.NumSegments() != int(s.BitmapBits())/8 {
+		t.Errorf("NumSegments = %d", s.NumSegments())
+	}
+	if s.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes <= 0")
+	}
+	for _, v := range want {
+		if !s.Contains(v) {
+			t.Errorf("Contains(%d) = false", v)
+		}
+	}
+	misses := 0
+	for v := uint32(100); v < 200; v++ {
+		if s.Contains(v) {
+			misses++
+		}
+	}
+	if misses > 0 {
+		t.Errorf("Contains reported %d false members", misses)
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	s := MustNewSet(nil, DefaultConfig())
+	if s.Len() != 0 || s.MaxSegmentLen() != 0 {
+		t.Errorf("empty set Len=%d maxSeg=%d", s.Len(), s.MaxSegmentLen())
+	}
+	other := MustNewSet([]uint32{1, 2, 3}, DefaultConfig())
+	if CountMerge(s, other) != 0 || CountMerge(other, s) != 0 {
+		t.Error("intersection with empty set should be 0")
+	}
+	if CountHash(s, other) != 0 {
+		t.Error("hash intersection with empty set should be 0")
+	}
+	if Count(s, s) != 0 {
+		t.Error("empty ∩ empty should be 0")
+	}
+}
+
+func TestNewSetRejectsBadConfig(t *testing.T) {
+	if _, err := NewSet([]uint32{1}, Config{SegBits: 5}); err == nil {
+		t.Error("NewSet should propagate config errors")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNewSet should panic on bad config")
+		}
+	}()
+	MustNewSet([]uint32{1}, Config{SegBits: 5})
+}
+
+// TestSegmentInvariants checks the Fig. 1 structure: segments partition the
+// reordered set, every element lands in the segment its hash selects, and
+// each segment list is ascending.
+func TestSegmentInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, segBits := range []int{8, 16, 32} {
+		cfg := DefaultConfig()
+		cfg.SegBits = segBits
+		s := MustNewSet(randSet(rng, 5000, 1<<22), cfg)
+		total := 0
+		for seg := 0; seg < s.NumSegments(); seg++ {
+			lst := s.Segment(seg)
+			total += len(lst)
+			for i, v := range lst {
+				if i > 0 && lst[i-1] >= v {
+					t.Fatalf("segment %d not strictly ascending: %v", seg, lst)
+				}
+				pos := s.hasher.Pos(v, s.BitmapBits())
+				if s.bm.SegmentOf(pos) != seg {
+					t.Fatalf("element %d in wrong segment %d", v, seg)
+				}
+				if !s.bm.Test(pos) {
+					t.Fatalf("bit not set for element %d", v)
+				}
+			}
+		}
+		if total != s.Len() {
+			t.Fatalf("segments hold %d elements, set has %d", total, s.Len())
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	n := 10000
+	s := MustNewSet(randSet(rng, n, 1<<24), DefaultConfig())
+	st := s.Stats()
+	if st.N != s.Len() || st.BitmapBits != s.BitmapBits() || st.Segments != s.NumSegments() {
+		t.Fatalf("stats basics wrong: %+v", st)
+	}
+	if st.SegmentBits != 8 {
+		t.Errorf("SegmentBits = %d", st.SegmentBits)
+	}
+	if st.MaxSegmentLen != s.MaxSegmentLen() {
+		t.Errorf("MaxSegmentLen = %d, want %d", st.MaxSegmentLen, s.MaxSegmentLen())
+	}
+	// Histogram buckets must account for every segment, and the weighted
+	// sum of exact buckets must not exceed N.
+	total, weighted := 0, 0
+	for k, c := range st.SegmentSizeHist {
+		total += c
+		if k < len(st.SegmentSizeHist)-1 {
+			weighted += k * c
+		}
+	}
+	if total != st.Segments {
+		t.Errorf("histogram covers %d segments, want %d", total, st.Segments)
+	}
+	if weighted > st.N {
+		t.Errorf("histogram weight %d exceeds N %d", weighted, st.N)
+	}
+	// With m = 16n the bit density must be near 1/16 (collisions lower it
+	// slightly, rounding of m can halve it).
+	if st.BitDensity <= 0.02 || st.BitDensity > 0.07 {
+		t.Errorf("BitDensity = %v, expected ≈1/16 or slightly below", st.BitDensity)
+	}
+	if st.MeanOccupied < 1 {
+		t.Errorf("MeanOccupied = %v", st.MeanOccupied)
+	}
+	// Empty set.
+	empty := MustNewSet(nil, DefaultConfig())
+	est := empty.Stats()
+	if est.NonEmptySegments != 0 || est.MeanOccupied != 0 || est.BitDensity != 0 {
+		t.Errorf("empty stats: %+v", est)
+	}
+}
+
+// TestIntersectAllConfigs is the central correctness test: FESIA (merge,
+// hash, adaptive, materializing, parallel) against scalar ground truth for
+// every width, several segment sizes, strides, scales, and skews.
+func TestIntersectAllConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	type variant struct {
+		name string
+		cfg  Config
+	}
+	variants := []variant{
+		{"SSE", Config{Width: simd.WidthSSE}},
+		{"AVX", Config{Width: simd.WidthAVX}},
+		{"AVX512", Config{Width: simd.WidthAVX512}},
+		{"AVX512s4", Config{Width: simd.WidthAVX512, Stride: 4}},
+		{"AVX512s8", Config{Width: simd.WidthAVX512, Stride: 8}},
+		{"seg16", Config{SegBits: 16}},
+		{"seg32", Config{SegBits: 32}},
+		{"denseBitmap", Config{Scale: 2}}, // crowded segments, big kernel sizes
+		{"sparseBitmap", Config{Scale: 64}},
+	}
+	shapes := []struct{ na, nb int }{
+		{0, 100}, {1, 1}, {100, 100}, {1000, 1000}, {50, 2000}, {3000, 700},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			for _, sh := range shapes {
+				// Universe chosen so intersections are non-trivial.
+				universe := uint32(4 * (sh.na + sh.nb + 10))
+				ea := randSet(rng, sh.na, universe)
+				eb := randSet(rng, sh.nb, universe)
+				want := refIntersect(ea, eb)
+
+				sa := MustNewSet(ea, v.cfg)
+				sb := MustNewSet(eb, v.cfg)
+
+				if got := CountMerge(sa, sb); got != len(want) {
+					t.Errorf("%s CountMerge(%d,%d) = %d, want %d", v.name, sh.na, sh.nb, got, len(want))
+				}
+				if got := CountMerge(sb, sa); got != len(want) {
+					t.Errorf("%s CountMerge swapped = %d, want %d", v.name, got, len(want))
+				}
+				if got := CountHash(sa, sb); got != len(want) {
+					t.Errorf("%s CountHash = %d, want %d", v.name, got, len(want))
+				}
+				if got := Count(sa, sb); got != len(want) {
+					t.Errorf("%s adaptive Count = %d, want %d", v.name, got, len(want))
+				}
+				dst := make([]uint32, min(sa.Len(), sb.Len())+1)
+				n := IntersectMerge(dst, sa, sb)
+				if got := sortedCopy(dst[:n]); len(got) != len(want) {
+					t.Errorf("%s IntersectMerge n = %d, want %d", v.name, n, len(want))
+				} else {
+					for i := range want {
+						if got[i] != want[i] {
+							t.Errorf("%s IntersectMerge values differ at %d", v.name, i)
+							break
+						}
+					}
+				}
+				n = IntersectHash(dst, sa, sb)
+				if got := sortedCopy(dst[:n]); len(got) != len(want) {
+					t.Errorf("%s IntersectHash n = %d, want %d", v.name, n, len(want))
+				} else {
+					for i := range want {
+						if got[i] != want[i] {
+							t.Errorf("%s IntersectHash values differ at %d", v.name, i)
+							break
+						}
+					}
+				}
+				n = Intersect(dst, sa, sb)
+				if n != len(want) {
+					t.Errorf("%s adaptive Intersect = %d, want %d", v.name, n, len(want))
+				}
+				for _, workers := range []int{2, 3, 8} {
+					if got := CountMergeParallel(sa, sb, workers); got != len(want) {
+						t.Errorf("%s CountMergeParallel(%d) = %d, want %d", v.name, workers, got, len(want))
+					}
+					n = IntersectMergeParallel(dst, sa, sb, workers)
+					if got := sortedCopy(dst[:n]); len(got) != len(want) {
+						t.Errorf("%s IntersectMergeParallel(%d) = %d, want %d", v.name, workers, n, len(want))
+					} else {
+						for i := range want {
+							if got[i] != want[i] {
+								t.Errorf("%s IntersectMergeParallel values differ", v.name)
+								break
+							}
+						}
+					}
+					if got := CountHashParallel(sa, sb, workers); got != len(want) {
+						t.Errorf("%s CountHashParallel(%d) = %d, want %d", v.name, workers, got, len(want))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPaperExample1 reproduces the running example of Section III-B/III-C:
+// A = {1, 4, 15, 21, 32, 34}, B = {2, 6, 12, 16, 21, 23}; the intersection
+// is {21}.
+func TestPaperExample1(t *testing.T) {
+	a := MustNewSet([]uint32{1, 4, 15, 21, 32, 34}, DefaultConfig())
+	b := MustNewSet([]uint32{2, 6, 12, 16, 21, 23}, DefaultConfig())
+	if got := CountMerge(a, b); got != 1 {
+		t.Errorf("CountMerge = %d, want 1", got)
+	}
+	dst := make([]uint32, 6)
+	if n := IntersectMerge(dst, a, b); n != 1 || dst[0] != 21 {
+		t.Errorf("IntersectMerge = %v (n=%d), want [21]", dst[:n], n)
+	}
+}
+
+// TestDifferentBitmapSizes builds sets of very different cardinalities so
+// their bitmaps differ in size, exercising the wrapped comparison of
+// Section III-C in both argument orders.
+func TestDifferentBitmapSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	big := randSet(rng, 20000, 1<<20)
+	small := append([]uint32(nil), big[:40]...) // guaranteed overlap
+	small = append(small, randSet(rng, 40, 1<<20)...)
+
+	sb := MustNewSet(big, DefaultConfig())
+	ss := MustNewSet(small, DefaultConfig())
+	if sb.BitmapBits() == ss.BitmapBits() {
+		t.Fatalf("test needs different bitmap sizes, both %d", sb.BitmapBits())
+	}
+	want := refIntersect(big, small)
+	if got := CountMerge(sb, ss); got != len(want) {
+		t.Errorf("CountMerge(big, small) = %d, want %d", got, len(want))
+	}
+	if got := CountMerge(ss, sb); got != len(want) {
+		t.Errorf("CountMerge(small, big) = %d, want %d", got, len(want))
+	}
+	if got := CountHash(ss, sb); got != len(want) {
+		t.Errorf("CountHash = %d, want %d", got, len(want))
+	}
+	// With 80 vs 20000 elements the adaptive strategy must pick the hash path
+	// and still be right.
+	if !useHash(ss, sb) {
+		t.Error("adaptive strategy should pick hash for skew 80/20000")
+	}
+	if got := Count(ss, sb); got != len(want) {
+		t.Errorf("adaptive Count = %d, want %d", got, len(want))
+	}
+}
+
+func TestCompatibilityPanics(t *testing.T) {
+	base := MustNewSet([]uint32{1, 2, 3}, DefaultConfig())
+	cases := []Config{
+		{Seed: 42},
+		{SegBits: 16},
+		{Width: simd.WidthSSE},
+	}
+	for _, c := range cases {
+		other := MustNewSet([]uint32{1, 2, 3}, c)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("intersecting incompatible sets (%+v) should panic", c)
+				}
+			}()
+			CountMerge(base, other)
+		}()
+	}
+}
+
+func TestKWay(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, k := range []int{3, 4, 5} {
+		for trial := 0; trial < 5; trial++ {
+			universe := uint32(3000)
+			raw := make([][]uint32, k)
+			sets := make([]*Set, k)
+			// Different sizes force different bitmap sizes in the k-way AND.
+			for i := range raw {
+				raw[i] = randSet(rng, 400*(i+1), universe)
+			}
+			// Force some guaranteed common elements.
+			common := randSet(rng, 30, universe)
+			for i := range raw {
+				raw[i] = append(raw[i], common...)
+				sets[i] = MustNewSet(raw[i], DefaultConfig())
+			}
+			want := sortedCopy(raw[0])
+			for i := 1; i < k; i++ {
+				want = refIntersect(want, raw[i])
+			}
+			if got := CountK(sets...); got != len(want) {
+				t.Errorf("CountK(k=%d trial=%d) = %d, want %d", k, trial, got, len(want))
+			}
+			dst := make([]uint32, sets[0].Len())
+			n := IntersectK(dst, sets...)
+			got := sortedCopy(dst[:n])
+			if len(got) != len(want) {
+				t.Fatalf("IntersectK n = %d, want %d", n, len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("IntersectK values differ at %d: %d vs %d", i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCountKParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 5; trial++ {
+		k := 3 + rng.Intn(3)
+		sets := make([]*Set, k)
+		raw := make([][]uint32, k)
+		for i := range sets {
+			raw[i] = randSet(rng, 300*(i+1), 4000)
+			sets[i] = MustNewSet(raw[i], DefaultConfig())
+		}
+		want := CountK(sets...)
+		for _, workers := range []int{1, 2, 4, 16} {
+			if got := CountKParallel(workers, sets...); got != want {
+				t.Errorf("CountKParallel(%d workers, k=%d) = %d, want %d", workers, k, got, want)
+			}
+		}
+	}
+	// Degenerate arities delegate correctly.
+	a := MustNewSet([]uint32{1, 2, 3}, DefaultConfig())
+	b := MustNewSet([]uint32{2, 3, 4}, DefaultConfig())
+	if CountKParallel(4, a) != 3 {
+		t.Error("k=1 should return the set size")
+	}
+	if CountKParallel(4, a, b) != 2 {
+		t.Error("k=2 should match CountMerge")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CountKParallel() should panic")
+			}
+		}()
+		CountKParallel(4)
+	}()
+}
+
+func TestKWayEdgeCases(t *testing.T) {
+	a := MustNewSet([]uint32{1, 2, 3}, DefaultConfig())
+	if CountK(a) != 3 {
+		t.Error("CountK of one set should be its size")
+	}
+	b := MustNewSet([]uint32{2, 3, 4}, DefaultConfig())
+	if CountK(a, b) != 2 {
+		t.Error("CountK of two sets should match CountMerge")
+	}
+	dst := make([]uint32, 3)
+	if n := IntersectK(dst, a); n != 3 {
+		t.Error("IntersectK of one set should copy it")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("CountK() should panic")
+			}
+		}()
+		CountK()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("IntersectK(nil dst) should panic")
+			}
+		}()
+		IntersectK(nil, a, b)
+	}()
+}
+
+func TestBreakdown(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ea := randSet(rng, 3000, 40000)
+	eb := randSet(rng, 3000, 40000)
+	a := MustNewSet(ea, DefaultConfig())
+	b := MustNewSet(eb, DefaultConfig())
+	bd := CountMergeBreakdown(a, b)
+	if bd.Count != CountMerge(a, b) {
+		t.Errorf("Breakdown.Count = %d, want %d", bd.Count, CountMerge(a, b))
+	}
+	if bd.SegPairs < bd.Count {
+		t.Errorf("SegPairs %d < Count %d", bd.SegPairs, bd.Count)
+	}
+	if bd.BitmapTime <= 0 || bd.SegmentTime < 0 {
+		t.Errorf("times: bitmap=%v segment=%v", bd.BitmapTime, bd.SegmentTime)
+	}
+}
+
+// Property: for arbitrary inputs, merge, hash, adaptive and 2-way CountK all
+// agree with ground truth.
+func TestStrategiesAgreeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(na, nb uint16, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ea := randSet(r, int(na%2000), 1<<14)
+		eb := randSet(r, int(nb%2000), 1<<14)
+		want := len(refIntersect(ea, eb))
+		a := MustNewSet(ea, DefaultConfig())
+		b := MustNewSet(eb, DefaultConfig())
+		return CountMerge(a, b) == want &&
+			CountHash(a, b) == want &&
+			Count(a, b) == want &&
+			CountK(a, b) == want
+	}
+	_ = rng
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFalsePositiveBound sanity-checks Proposition 1: with m = n·√w the
+// expected number of surviving segment pairs is about n/√w + r, so the
+// observed count should stay within a small factor of that.
+func TestFalsePositiveBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	n := 20000
+	ea := randSet(rng, n, 1<<28) // essentially disjoint
+	eb := randSet(rng, n, 1<<28)
+	a := MustNewSet(ea, DefaultConfig())
+	b := MustNewSet(eb, DefaultConfig())
+	bd := CountMergeBreakdown(a, b)
+	r := bd.Count
+	// The segment-level grouping makes the bound slightly looser than the
+	// per-bit analysis; allow a generous constant.
+	bound := 8*float64(n)/16.0 + float64(r) + 100
+	if float64(bd.SegPairs) > bound {
+		t.Errorf("SegPairs = %d exceeds O(n/√w + r) bound %.0f", bd.SegPairs, bound)
+	}
+}
+
+// TestKWayFalsePositiveBound sanity-checks Proposition 2: with m = n·√w the
+// number of segments surviving the k-way AND is about n/√w^(k-1) + r, far
+// below the 2-way survivor count.
+func TestKWayFalsePositiveBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	n := 20000
+	// Essentially disjoint sets: r ≈ 0, so survivors are false positives.
+	sets := make([]*Set, 3)
+	for i := range sets {
+		sets[i] = MustNewSet(randSet(rng, n, 1<<28), DefaultConfig())
+	}
+	maps := []*bitmap.Bitmap{sets[0].bm, sets[1].bm, sets[2].bm}
+	survivors := 0
+	bitmap.ForEachIntersectingSegmentK(maps, func(int) { survivors++ })
+	// 2-way survivors for comparison.
+	two := 0
+	forEachSegPair(sets[0], sets[1], func(_, _ int) { two++ })
+	if survivors >= two/4 {
+		t.Errorf("3-way survivors %d not far below 2-way %d (Proposition 2)", survivors, two)
+	}
+	// Loose absolute bound: segment-level grouping inflates the per-bit
+	// analysis by a constant.
+	bound := 8*float64(n)/(16.0*16.0) + 100
+	if float64(survivors) > bound {
+		t.Errorf("3-way survivors %d exceed O(n/√w²) bound %.0f", survivors, bound)
+	}
+}
+
+func TestUseHashThreshold(t *testing.T) {
+	mk := func(n int) *Set {
+		rng := rand.New(rand.NewSource(int64(n)))
+		return MustNewSet(randSet(rng, n, 1<<24), DefaultConfig())
+	}
+	big := mk(10000)
+	if !useHash(mk(100), big) {
+		t.Error("skew 1/100 should use hash")
+	}
+	if useHash(mk(9000), big) {
+		t.Error("skew ~0.9 should use merge")
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"fesia/internal/simd"
+)
+
+// decodeSets splits fuzz input bytes into two element lists plus a config
+// selector, so the fuzzer explores set contents, sizes, and configurations
+// together.
+func decodeSets(data []byte) (ea, eb []uint32, cfg Config) {
+	if len(data) == 0 {
+		return nil, nil, DefaultConfig()
+	}
+	sel := data[0]
+	data = data[1:]
+	widths := []simd.Width{simd.WidthSSE, simd.WidthAVX, simd.WidthAVX512}
+	cfg = Config{
+		Width:   widths[int(sel)%3],
+		SegBits: []int{8, 16, 32}[int(sel>>2)%3],
+	}
+	if sel>>4&1 == 1 && cfg.Width == simd.WidthAVX512 {
+		cfg.Stride = []int{4, 8}[int(sel>>5)%2]
+	}
+	split := len(data) / 2
+	toSet := func(b []byte) []uint32 {
+		out := make([]uint32, 0, len(b)/3)
+		for i := 0; i+3 < len(b); i += 4 {
+			out = append(out, binary.LittleEndian.Uint32(b[i:]))
+		}
+		return out
+	}
+	return toSet(data[:split]), toSet(data[split:]), cfg
+}
+
+func refCountMap(a, b []uint32) int {
+	in := make(map[uint32]bool, len(a))
+	for _, v := range a {
+		in[v] = true
+	}
+	seen := make(map[uint32]bool)
+	n := 0
+	for _, v := range b {
+		if in[v] && !seen[v] {
+			seen[v] = true
+			n++
+		}
+	}
+	return n
+}
+
+// FuzzIntersect differentially tests all intersection strategies against a
+// map-based reference, across fuzz-chosen contents and configurations.
+func FuzzIntersect(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte{1, 1, 2, 3, 4, 1, 2, 3, 4})
+	f.Add(bytes.Repeat([]byte{0xAB}, 100))
+	f.Add(append([]byte{9}, bytes.Repeat([]byte{0, 1, 2, 3}, 40)...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 {
+			data = data[:1<<14]
+		}
+		ea, eb, cfg := decodeSets(data)
+		want := refCountMap(ea, eb)
+		sa, err := NewSet(ea, cfg)
+		if err != nil {
+			t.Fatalf("NewSet: %v", err)
+		}
+		sb, err := NewSet(eb, cfg)
+		if err != nil {
+			t.Fatalf("NewSet: %v", err)
+		}
+		if got := CountMerge(sa, sb); got != want {
+			t.Fatalf("CountMerge = %d, want %d (cfg %+v)", got, want, cfg)
+		}
+		if got := CountHash(sa, sb); got != want {
+			t.Fatalf("CountHash = %d, want %d", got, want)
+		}
+		if got := CountMergeParallel(sa, sb, 3); got != want {
+			t.Fatalf("CountMergeParallel = %d, want %d", got, want)
+		}
+		dst := make([]uint32, min(sa.Len(), sb.Len())+1)
+		if got := IntersectMerge(dst, sa, sb); got != want {
+			t.Fatalf("IntersectMerge = %d, want %d", got, want)
+		}
+	})
+}
+
+// FuzzReadSet throws arbitrary bytes at the deserializer: it must never
+// panic, and anything it accepts must be structurally sound.
+func FuzzReadSet(f *testing.F) {
+	valid := MustNewSet([]uint32{1, 5, 9, 1 << 30}, DefaultConfig())
+	var buf bytes.Buffer
+	if _, err := valid.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("FESIA1\x00\x00junk"))
+	f.Add([]byte{})
+	// Regression: a forged header demanding a multi-terabyte bitmap must
+	// fail at the first short read, not allocate (found by fuzzing).
+	huge := append([]byte(nil), buf.Bytes()[:28]...)
+	huge = append(huge, 0, 0, 0, 0, 0, 0, 0, 0)       // seed
+	huge = append(huge, 0, 0, 0, 0, 0, 0, 0, 0)       // n = 0
+	huge = append(huge, 0, 0, 0, 0, 0, 0, 0x30, 0x40) // mBits = enormous pow2-ish
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSet(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted sets must behave: self-intersection equals cardinality.
+		if got := CountMerge(s, s); got != s.Len() {
+			t.Fatalf("accepted set self-intersects to %d, len %d", got, s.Len())
+		}
+	})
+}

@@ -1,0 +1,575 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"fesia/internal/bitmap"
+	"fesia/internal/kernels"
+	"fesia/internal/simd"
+)
+
+// SkewThreshold is the size ratio below which the adaptive strategy switches
+// from the merge-style two-step intersection (FESIAmerge) to the per-element
+// hash probe (FESIAhash). Fig. 11 of the paper places the crossover at a
+// skew of about 1/4.
+const SkewThreshold = 0.25
+
+// CountMerge returns |a ∩ b| using the two-step FESIA algorithm
+// (Algorithm 1): bitmap-level AND, then specialized kernels on the
+// surviving segment pairs. This is the paper's FESIAmerge.
+func CountMerge(a, b *Set) int {
+	compatible(a, b)
+	x, y := ordered(a, b)
+	return countMergeRange(x, y, 0, len(x.bm.Words()))
+}
+
+// countMergeRange is the hot loop: it fuses the three bitmap-level steps of
+// Section IV (word AND, segment transformation, index extraction) with the
+// jump-table dispatch of Listing 2, over words [lo, hi) of the larger
+// bitmap. x must be the larger-bitmap set.
+func countMergeRange(x, y *Set, lo, hi int) int {
+	d := &x.disp
+	xw, yw := x.bm.Words(), y.bm.Words()
+	wordMask := len(yw) - 1
+	spw := x.bm.SegmentsPerWord()
+	segBits := x.bm.SegBits()
+	segMaskY := y.bm.NumSegments() - 1
+	xo, yo := x.offsets, y.offsets
+	xr, yr := x.reordered, y.reordered
+
+	// Segment extraction: tzcnt finds the lowest live bit, then the whole
+	// segment's bits are cleared at once, so the inner loop runs once per
+	// live segment (Section IV steps 2+3 fused, branch-free).
+	segClear := uint64(1)<<uint(segBits) - 1
+	segShift := uint(simd.Tzcnt32(uint32(segBits))) // log2(segBits)
+	alignMask := segBits - 1
+
+	n := 0
+	for i := lo; i < hi; i++ {
+		w := xw[i] & yw[i&wordMask]
+		if w == 0 {
+			continue
+		}
+		base := i * spw
+		for w != 0 {
+			bit := simd.Tzcnt64(w)
+			segOff := bit &^ alignMask
+			w &^= segClear << uint(segOff)
+			seg := base + segOff>>segShift
+			segY := seg & segMaskY
+			oa, oaEnd := xo[seg], xo[seg+1]
+			ob, obEnd := yo[segY], yo[segY+1]
+			la := int(oaEnd - oa)
+			lb := int(obEnd - ob)
+			if la > d.Cap || lb > d.Cap {
+				n += kernels.GenericCount(xr[oa:oaEnd], yr[ob:obEnd])
+				continue
+			}
+			ctrl := int(d.Round[la])<<d.Bits | int(d.Round[lb])
+			n += d.Count[ctrl](xr[oa:oaEnd], yr[ob:obEnd])
+		}
+	}
+	return n
+}
+
+// IntersectMerge writes a ∩ b into dst and returns the count. dst must have
+// room for min(a.Len(), b.Len()) elements. Results are emitted in segment
+// order (ascending within each segment); use sort.Slice for value order.
+func IntersectMerge(dst []uint32, a, b *Set) int {
+	compatible(a, b)
+	x, y := ordered(a, b)
+	t := x.table
+	n := 0
+	forEachSegPair(x, y, func(sx, sy int) {
+		n += t.Intersect(dst[n:], x.segment(sx), y.segment(sy))
+	})
+	return n
+}
+
+// forEachSegPair streams the surviving segment pairs of the bitmap-level
+// intersection, with x the larger-bitmap set.
+func forEachSegPair(x, y *Set, fn func(sx, sy int)) {
+	bitmap.ForEachIntersectingSegment(x.bm, y.bm, fn)
+}
+
+func forEachSegPairRange(x, y *Set, wordLo, wordHi int, fn func(sx, sy int)) {
+	bitmap.ForEachIntersectingSegmentRange(x.bm, y.bm, wordLo, wordHi, fn)
+}
+
+// CountHash returns |a ∩ b| with the skewed-input strategy of Section VI:
+// every element of the smaller set probes the larger set's bitmap, and only
+// elements whose bit is set are compared against the one segment list the
+// bit selects. Complexity O(min(n1, n2)). This is the paper's FESIAhash.
+func CountHash(a, b *Set) int {
+	compatible(a, b)
+	small, large := a, b
+	if small.n > large.n {
+		small, large = large, small
+	}
+	n := 0
+	lb := large.bm
+	mBits := lb.Bits()
+	for _, x := range small.reordered {
+		pos := large.hasher.Pos(x, mBits)
+		if !lb.Test(pos) {
+			continue
+		}
+		for _, v := range large.segment(lb.SegmentOf(pos)) {
+			if v == x {
+				n++
+				break
+			}
+			if v > x {
+				break
+			}
+		}
+	}
+	return n
+}
+
+// IntersectHash writes a ∩ b into dst using the skewed-input strategy and
+// returns the count. Results follow the smaller set's segment order.
+func IntersectHash(dst []uint32, a, b *Set) int {
+	compatible(a, b)
+	small, large := a, b
+	if small.n > large.n {
+		small, large = large, small
+	}
+	n := 0
+	lb := large.bm
+	mBits := lb.Bits()
+	for _, x := range small.reordered {
+		pos := large.hasher.Pos(x, mBits)
+		if !lb.Test(pos) {
+			continue
+		}
+		for _, v := range large.segment(lb.SegmentOf(pos)) {
+			if v == x {
+				dst[n] = x
+				n++
+				break
+			}
+			if v > x {
+				break
+			}
+		}
+	}
+	return n
+}
+
+// Count picks the strategy adaptively: the hash probe when one set is
+// dramatically smaller (skew below SkewThreshold), the two-step merge
+// otherwise — matching the FESIAmerge/FESIAhash crossover of Fig. 11.
+func Count(a, b *Set) int {
+	if useHash(a, b) {
+		return CountHash(a, b)
+	}
+	return CountMerge(a, b)
+}
+
+// Intersect writes a ∩ b into dst with the adaptively chosen strategy and
+// returns the count.
+func Intersect(dst []uint32, a, b *Set) int {
+	if useHash(a, b) {
+		return IntersectHash(dst, a, b)
+	}
+	return IntersectMerge(dst, a, b)
+}
+
+func useHash(a, b *Set) bool {
+	small, large := a.n, b.n
+	if small > large {
+		small, large = large, small
+	}
+	if large == 0 {
+		return false
+	}
+	return float64(small) < SkewThreshold*float64(large)
+}
+
+// ---------------------------------------------------------------------------
+// k-way intersection (Section VI).
+// ---------------------------------------------------------------------------
+
+// CountK returns |s1 ∩ s2 ∩ ... ∩ sk|. The k bitmaps are ANDed together to
+// prune segments none of which share a bit; the surviving segments'
+// element lists are then intersected pairwise with the specialized kernels.
+// Expected work is O(kn/√w + r) (Proposition 2).
+func CountK(sets ...*Set) int {
+	return intersectK(nil, sets)
+}
+
+// IntersectK writes the k-way intersection into dst and returns the count.
+// dst must have room for the smallest set's length.
+func IntersectK(dst []uint32, sets ...*Set) int {
+	if dst == nil {
+		panic("core: IntersectK requires a destination buffer")
+	}
+	return intersectK(dst, sets)
+}
+
+func intersectK(dst []uint32, sets []*Set) int {
+	switch len(sets) {
+	case 0:
+		panic("core: intersection of zero sets")
+	case 1:
+		if dst != nil {
+			return copy(dst, sets[0].reordered)
+		}
+		return sets[0].n
+	case 2:
+		if dst != nil {
+			return IntersectMerge(dst, sets[0], sets[1])
+		}
+		return CountMerge(sets[0], sets[1])
+	}
+	for _, s := range sets[1:] {
+		compatible(sets[0], s)
+	}
+	// Order by bitmap size descending: the largest drives the word loop and
+	// every smaller bitmap wraps (Section III-C generalized to k maps).
+	ord := append([]*Set(nil), sets...)
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && ord[j].bm.Bits() > ord[j-1].bm.Bits(); j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	x := ord[0]
+	rest := ord[1:]
+
+	maxSeg := x.maxSeg
+	for _, s := range rest {
+		maxSeg = max(maxSeg, s.maxSeg)
+	}
+	buf1 := make([]uint32, max(maxSeg, 1))
+	buf2 := make([]uint32, max(maxSeg, 1))
+
+	t := x.table
+	total := 0
+	maps := make([]*bitmap.Bitmap, len(ord))
+	for i, s := range ord {
+		maps[i] = s.bm
+	}
+	bitmap.ForEachIntersectingSegmentK(maps, func(seg int) {
+		cur := x.segment(seg)
+		n := len(cur)
+		out := buf1
+		for _, s := range rest {
+			sseg := s.segment(seg & (s.bm.NumSegments() - 1))
+			n = t.Intersect(out, cur, sseg)
+			if n == 0 {
+				break
+			}
+			cur = out[:n]
+			if &out[0] == &buf1[0] {
+				out = buf2
+			} else {
+				out = buf1
+			}
+		}
+		if n == 0 {
+			return
+		}
+		if dst != nil {
+			copy(dst[total:], cur[:n])
+		}
+		total += n
+	})
+	return total
+}
+
+// CountKParallel is CountK with the largest bitmap's words partitioned
+// across `workers` goroutines (Section VI's multicore scheme applied to the
+// k-way AND). Each worker chains the pairwise segment intersections with
+// private scratch buffers.
+func CountKParallel(workers int, sets ...*Set) int {
+	switch len(sets) {
+	case 0:
+		panic("core: intersection of zero sets")
+	case 1:
+		return sets[0].n
+	case 2:
+		return CountMergeParallel(sets[0], sets[1], workers)
+	}
+	for _, s := range sets[1:] {
+		compatible(sets[0], s)
+	}
+	ord := append([]*Set(nil), sets...)
+	for i := 1; i < len(ord); i++ {
+		for j := i; j > 0 && ord[j].bm.Bits() > ord[j-1].bm.Bits(); j-- {
+			ord[j], ord[j-1] = ord[j-1], ord[j]
+		}
+	}
+	x := ord[0]
+	rest := ord[1:]
+	maps := make([]*bitmap.Bitmap, len(ord))
+	for i, s := range ord {
+		maps[i] = s.bm
+	}
+	words := len(x.bm.Words())
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > words {
+		workers = words
+	}
+	if workers == 1 {
+		return CountK(sets...)
+	}
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (words + workers - 1) / workers
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * chunk
+		hi := min(lo+chunk, words)
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			counts[wkr] = countKRange(x, rest, maps, lo, hi)
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// countKRange chains pairwise kernel intersections over the surviving
+// segments of words [lo, hi), with its own scratch buffers.
+func countKRange(x *Set, rest []*Set, maps []*bitmap.Bitmap, lo, hi int) int {
+	maxSeg := x.maxSeg
+	for _, s := range rest {
+		maxSeg = max(maxSeg, s.maxSeg)
+	}
+	buf1 := make([]uint32, max(maxSeg, 1))
+	buf2 := make([]uint32, max(maxSeg, 1))
+	t := x.table
+	total := 0
+	bitmap.ForEachIntersectingSegmentKRange(maps, lo, hi, func(seg int) {
+		cur := x.segment(seg)
+		n := len(cur)
+		out := buf1
+		for _, s := range rest {
+			sseg := s.segment(seg & (s.bm.NumSegments() - 1))
+			n = t.Intersect(out, cur, sseg)
+			if n == 0 {
+				break
+			}
+			cur = out[:n]
+			if &out[0] == &buf1[0] {
+				out = buf2
+			} else {
+				out = buf1
+			}
+		}
+		total += n
+	})
+	return total
+}
+
+// ---------------------------------------------------------------------------
+// Multicore parallelism (Section VI): the larger bitmap's words are
+// partitioned across workers; segments never straddle words, so workers
+// touch disjoint segment pairs.
+// ---------------------------------------------------------------------------
+
+// CountMergeParallel is CountMerge across `workers` goroutines.
+func CountMergeParallel(a, b *Set, workers int) int {
+	compatible(a, b)
+	x, y := ordered(a, b)
+	words := len(x.bm.Words())
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > words {
+		workers = words
+	}
+	if workers == 1 {
+		return CountMerge(a, b)
+	}
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (words + workers - 1) / workers
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * chunk
+		hi := lo + chunk
+		if hi > words {
+			hi = words
+		}
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			counts[wkr] = countMergeRange(x, y, lo, hi)
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// IntersectMergeParallel is IntersectMerge across `workers` goroutines.
+// Workers materialize disjoint word ranges into private buffers which are
+// concatenated in range order, so the output matches IntersectMerge.
+func IntersectMergeParallel(dst []uint32, a, b *Set, workers int) int {
+	compatible(a, b)
+	x, y := ordered(a, b)
+	words := len(x.bm.Words())
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > words {
+		workers = words
+	}
+	if workers == 1 {
+		return IntersectMerge(dst, a, b)
+	}
+	t := x.table
+	parts := make([][]uint32, workers)
+	var wg sync.WaitGroup
+	chunk := (words + workers - 1) / workers
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * chunk
+		hi := lo + chunk
+		if hi > words {
+			hi = words
+		}
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			var buf []uint32
+			scratch := make([]uint32, min(x.maxSeg, y.maxSeg))
+			forEachSegPairRange(x, y, lo, hi, func(sx, sy int) {
+				n := t.Intersect(scratch, x.segment(sx), y.segment(sy))
+				buf = append(buf, scratch[:n]...)
+			})
+			parts[wkr] = buf
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += copy(dst[total:], p)
+	}
+	return total
+}
+
+// CountHashParallel applies the skewed-input strategy with the smaller set's
+// elements partitioned across workers (the parallelization Section VI
+// prescribes when input sizes differ dramatically).
+func CountHashParallel(a, b *Set, workers int) int {
+	compatible(a, b)
+	small, large := a, b
+	if small.n > large.n {
+		small, large = large, small
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > small.n {
+		workers = small.n
+	}
+	if workers <= 1 {
+		return CountHash(a, b)
+	}
+	counts := make([]int, workers)
+	var wg sync.WaitGroup
+	chunk := (small.n + workers - 1) / workers
+	lb := large.bm
+	mBits := lb.Bits()
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * chunk
+		hi := lo + chunk
+		if hi > small.n {
+			hi = small.n
+		}
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			n := 0
+			for _, x := range small.reordered[lo:hi] {
+				pos := large.hasher.Pos(x, mBits)
+				if !lb.Test(pos) {
+					continue
+				}
+				for _, v := range large.segment(lb.SegmentOf(pos)) {
+					if v == x {
+						n++
+						break
+					}
+					if v > x {
+						break
+					}
+				}
+			}
+			counts[wkr] = n
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total
+}
+
+// DispatchTrace returns the (sizeA, sizeB) segment-size pairs that the
+// two-step intersection would dispatch to kernels, in dispatch order. The
+// instruction-cache simulation behind Table II replays this trace.
+func DispatchTrace(a, b *Set) [][2]int {
+	compatible(a, b)
+	x, y := ordered(a, b)
+	var trace [][2]int
+	forEachSegPair(x, y, func(sx, sy int) {
+		trace = append(trace, [2]int{len(x.segment(sx)), len(y.segment(sy))})
+	})
+	return trace
+}
+
+// ---------------------------------------------------------------------------
+// Instrumented intersection for the Fig. 14 performance breakdown.
+// ---------------------------------------------------------------------------
+
+// Breakdown reports where time went during a two-step intersection.
+type Breakdown struct {
+	BitmapTime  time.Duration // step 1: bitmap AND + segment index extraction
+	SegmentTime time.Duration // step 2: specialized kernels
+	SegPairs    int           // segment pairs surviving the filter (true + false positive)
+	Count       int           // final intersection size
+}
+
+// CountMergeBreakdown is CountMerge with per-step timing. The segment pair
+// list is materialized between the steps so each can be timed in isolation;
+// the combined result is identical to CountMerge.
+func CountMergeBreakdown(a, b *Set) Breakdown {
+	compatible(a, b)
+	x, y := ordered(a, b)
+	t := x.table
+
+	start := time.Now()
+	type pair struct{ sx, sy int32 }
+	pairs := make([]pair, 0, 1024)
+	forEachSegPair(x, y, func(sx, sy int) {
+		pairs = append(pairs, pair{int32(sx), int32(sy)})
+	})
+	bitmapTime := time.Since(start)
+
+	start = time.Now()
+	n := 0
+	for _, p := range pairs {
+		n += t.Count(x.segment(int(p.sx)), y.segment(int(p.sy)))
+	}
+	segTime := time.Since(start)
+
+	return Breakdown{
+		BitmapTime:  bitmapTime,
+		SegmentTime: segTime,
+		SegPairs:    len(pairs),
+		Count:       n,
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"fesia/internal/hashutil"
+	"fesia/internal/simd"
+)
+
+// Serialization of a Set, so the offline construction phase (Section VII-A:
+// "the data structure of our approach is built offline") can be paid once
+// and the structure shipped to query servers. The format is a fixed-layout
+// little-endian stream:
+//
+//	magic "FESIA1\x00\x00" (8 bytes)
+//	config: width, segBits, stride (uint32 each), scale (float64), seed (uint64)
+//	n (uint64), mBits (uint64)
+//	bitmap words  (mBits/64 × uint64)
+//	offsets       (nseg+1 × uint32)
+//	reordered     (n × uint32)
+//
+// sizes are rederived from offsets; maxSeg is recomputed on load.
+
+var setMagic = [8]byte{'F', 'E', 'S', 'I', 'A', '1', 0, 0}
+
+// WriteTo serializes the set. It implements io.WriterTo.
+func (s *Set) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countWriter{w: bw}
+	write := func(v interface{}) error {
+		return binary.Write(cw, binary.LittleEndian, v)
+	}
+	if _, err := cw.Write(setMagic[:]); err != nil {
+		return cw.n, err
+	}
+	hdr := []interface{}{
+		uint32(s.cfg.Width), uint32(s.cfg.SegBits), uint32(s.cfg.Stride),
+		math.Float64bits(s.cfg.Scale), s.cfg.Seed,
+		uint64(s.n), s.bm.Bits(),
+	}
+	for _, v := range hdr {
+		if err := write(v); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := write(s.bm.Words()); err != nil {
+		return cw.n, err
+	}
+	if err := write(s.offsets); err != nil {
+		return cw.n, err
+	}
+	if err := write(s.reordered); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// readChunkElems bounds how many array elements are decoded per read, so a
+// header demanding billions of elements fails at the first short chunk
+// instead of allocating first.
+const readChunkElems = 1 << 16
+
+func readU64s(r io.Reader, count int) ([]uint64, error) {
+	out := make([]uint64, 0, min(count, readChunkElems))
+	for count > 0 {
+		c := min(count, readChunkElems)
+		chunk := make([]uint64, c)
+		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+		count -= c
+	}
+	return out, nil
+}
+
+func readU32s(r io.Reader, count int) ([]uint32, error) {
+	out := make([]uint32, 0, min(count, readChunkElems))
+	for count > 0 {
+		c := min(count, readChunkElems)
+		chunk := make([]uint32, c)
+		if err := binary.Read(r, binary.LittleEndian, chunk); err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+		count -= c
+	}
+	return out, nil
+}
+
+// ReadSet deserializes a Set written by WriteTo, validating the header and
+// structural invariants (a corrupted stream yields an error, not a panic).
+func ReadSet(r io.Reader) (*Set, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", err)
+	}
+	if magic != setMagic {
+		return nil, fmt.Errorf("core: bad magic %q", magic[:])
+	}
+	var width, segBits, stride uint32
+	var scaleBits, seed, n64, mBits uint64
+	for _, v := range []interface{}{&width, &segBits, &stride, &scaleBits, &seed, &n64, &mBits} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("core: reading header: %w", err)
+		}
+	}
+	cfg := Config{
+		Width:   simd.Width(width),
+		SegBits: int(segBits),
+		Scale:   math.Float64frombits(scaleBits),
+		Seed:    seed,
+		Stride:  int(stride),
+	}
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, fmt.Errorf("core: invalid serialized config: %w", err)
+	}
+	const maxReasonable = 1 << 40
+	if !hashutil.IsPow2(mBits) || mBits < 64 || mBits > maxReasonable {
+		return nil, fmt.Errorf("core: invalid bitmap size %d", mBits)
+	}
+	if n64 > maxReasonable {
+		return nil, fmt.Errorf("core: implausible set size %d", n64)
+	}
+	n := int(n64)
+	nseg := int(mBits) / cfg.SegBits
+
+	// Payload arrays are read in bounded chunks so a forged header cannot
+	// trigger a huge allocation before the (short) stream runs out.
+	words, err := readU64s(br, int(mBits)/64)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading bitmap: %w", err)
+	}
+	offsets, err := readU32s(br, nseg+1)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading offsets: %w", err)
+	}
+	reordered, err := readU32s(br, n)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading elements: %w", err)
+	}
+	s := newShell(cfg, mBits, make([]uint32, nseg), offsets, reordered)
+	copy(s.bm.Words(), words)
+
+	// Validate the whole offset array before any slicing, then rederive
+	// sizes/maxSeg segment by segment.
+	if s.offsets[0] != 0 || s.offsets[nseg] != uint32(n) {
+		return nil, fmt.Errorf("core: offset bounds corrupt (first=%d last=%d n=%d)",
+			s.offsets[0], s.offsets[nseg], n)
+	}
+	for i := 0; i < nseg; i++ {
+		if s.offsets[i] > s.offsets[i+1] || s.offsets[i+1] > uint32(n) {
+			return nil, fmt.Errorf("core: offsets corrupt at segment %d", i)
+		}
+	}
+	for i := 0; i < nseg; i++ {
+		size := s.offsets[i+1] - s.offsets[i]
+		s.sizes[i] = size
+		if int(size) > s.maxSeg {
+			s.maxSeg = int(size)
+		}
+		lst := s.reordered[s.offsets[i]:s.offsets[i+1]]
+		for j, v := range lst {
+			if j > 0 && lst[j-1] >= v {
+				return nil, fmt.Errorf("core: segment %d not strictly ascending", i)
+			}
+			pos := s.hasher.Pos(v, mBits)
+			if s.bm.SegmentOf(pos) != i {
+				return nil, fmt.Errorf("core: element %d stored in segment %d, hashes to %d",
+					v, i, s.bm.SegmentOf(pos))
+			}
+			if !s.bm.Test(pos) {
+				return nil, fmt.Errorf("core: bitmap bit missing for element %d", v)
+			}
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"fesia/internal/simd"
+)
+
+func roundTrip(t *testing.T, s *Set) *Set {
+	t.Helper()
+	var buf bytes.Buffer
+	n, err := s.WriteTo(&buf)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadSet(&buf)
+	if err != nil {
+		t.Fatalf("ReadSet: %v", err)
+	}
+	return got
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	configs := []Config{
+		{},
+		{Width: simd.WidthSSE, SegBits: 16},
+		{Width: simd.WidthAVX512, Stride: 4, Scale: 4, Seed: 99},
+	}
+	for _, cfg := range configs {
+		for _, n := range []int{0, 1, 100, 5000} {
+			orig := MustNewSet(randSet(rng, n, 1<<20), cfg)
+			got := roundTrip(t, orig)
+			if got.Len() != orig.Len() || got.BitmapBits() != orig.BitmapBits() {
+				t.Fatalf("round trip changed shape: %d/%d bits %d/%d",
+					got.Len(), orig.Len(), got.BitmapBits(), orig.BitmapBits())
+			}
+			if got.Config() != orig.Config() {
+				t.Fatalf("round trip changed config: %+v vs %+v", got.Config(), orig.Config())
+			}
+			ge, oe := got.Elements(), orig.Elements()
+			for i := range oe {
+				if ge[i] != oe[i] {
+					t.Fatalf("elements differ at %d", i)
+				}
+			}
+			if got.MaxSegmentLen() != orig.MaxSegmentLen() {
+				t.Fatalf("maxSeg differs: %d vs %d", got.MaxSegmentLen(), orig.MaxSegmentLen())
+			}
+			// A deserialized set must intersect correctly with a live one.
+			other := MustNewSet(randSet(rng, 500, 1<<20), cfg)
+			if CountMerge(got, other) != CountMerge(orig, other) {
+				t.Fatal("deserialized set intersects differently")
+			}
+		}
+	}
+}
+
+func TestReadSetRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	orig := MustNewSet(randSet(rng, 300, 1<<16), DefaultConfig())
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	if _, err := ReadSet(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should fail")
+	}
+	if _, err := ReadSet(bytes.NewReader(pristine[:20])); err == nil {
+		t.Error("truncated stream should fail")
+	}
+	bad := append([]byte(nil), pristine...)
+	bad[0] = 'X'
+	if _, err := ReadSet(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Flip bytes throughout the payload; every corruption must either fail
+	// or produce a structurally valid set (never panic).
+	for pos := 8; pos < len(pristine); pos += 37 {
+		mut := append([]byte(nil), pristine...)
+		mut[pos] ^= 0xFF
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("ReadSet panicked on corruption at byte %d: %v", pos, r)
+				}
+			}()
+			s, err := ReadSet(bytes.NewReader(mut))
+			if err != nil {
+				return // rejected: good
+			}
+			// Accepted: the set must still behave sanely.
+			_ = s.Elements()
+			_ = CountMerge(s, s)
+		}()
+	}
+}
+
+// TestDispatchTrace checks the trace used by the Table II i-cache replay:
+// every entry is a surviving segment pair with both sizes >= 1 (a set bit
+// implies at least one element), and the trace length matches the
+// breakdown's surviving-pair count.
+func TestDispatchTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := MustNewSet(randSet(rng, 4000, 1<<18), DefaultConfig())
+	b := MustNewSet(randSet(rng, 4000, 1<<18), DefaultConfig())
+	trace := DispatchTrace(a, b)
+	bd := CountMergeBreakdown(a, b)
+	if len(trace) != bd.SegPairs {
+		t.Fatalf("trace has %d entries, breakdown reports %d pairs", len(trace), bd.SegPairs)
+	}
+	total := 0
+	for _, p := range trace {
+		if p[0] < 1 || p[1] < 1 {
+			t.Fatalf("trace entry %v has an empty side", p)
+		}
+		total += min(p[0], p[1])
+	}
+	if total < bd.Count {
+		t.Errorf("trace upper bound %d below actual count %d", total, bd.Count)
+	}
+}
+
+// errWriter fails after n bytes, exercising WriteTo's error paths.
+type errWriter struct{ left int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if len(p) > w.left {
+		n := w.left
+		w.left = 0
+		return n, bytes.ErrTooLarge
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+func TestWriteToErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	s := MustNewSet(randSet(rng, 3000, 1<<18), DefaultConfig())
+	var full bytes.Buffer
+	if _, err := s.WriteTo(&full); err != nil {
+		t.Fatal(err)
+	}
+	// Fail at several cut points: header, bitmap, offsets, elements.
+	for _, limit := range []int{0, 4, 40, 2000, full.Len() - 10} {
+		if _, err := s.WriteTo(&errWriter{left: limit}); err == nil {
+			t.Errorf("WriteTo with %d-byte sink should fail", limit)
+		}
+	}
+}
+
+func TestReadSetRejectsBadHeader(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	orig := MustNewSet(randSet(rng, 50, 1000), DefaultConfig())
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Header layout after magic: width(4) segBits(4) stride(4) scale(8)
+	// seed(8) n(8) mBits(8).
+	corrupt := func(off int, val byte) []byte {
+		out := append([]byte(nil), data...)
+		out[8+off] = val
+		return out
+	}
+	for _, c := range []struct {
+		name string
+		data []byte
+	}{
+		{"width", corrupt(0, 7)},
+		{"segBits", corrupt(4, 9)},
+		{"stride", corrupt(8, 3)},
+		{"mBits-notpow2", corrupt(28+8, 3)},
+	} {
+		if _, err := ReadSet(bytes.NewReader(c.data)); err == nil {
+			t.Errorf("corrupted %s accepted", c.name)
+		}
+	}
+}

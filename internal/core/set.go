@@ -1,0 +1,388 @@
+// Package core implements FESIA (ICDE 2020): the segmented-bitmap set data
+// structure and the two-step intersection algorithm with specialized SIMD
+// kernels.
+//
+// A Set is built offline from a collection of 32-bit integers (Section
+// III-B): elements are hashed into an m-bit bitmap (m a power of two,
+// m ≈ n·√w by default), bits are grouped into s-bit segments, and the
+// elements are stored segment-by-segment (sorted within each segment) in a
+// reordered array with per-segment offsets and sizes — exactly the five
+// arrays of the paper's Fig. 1.
+//
+// Intersections then run in two steps (Section III-C): a bitmap-level AND
+// prunes segments with no common bits, and specialized kernels (package
+// kernels) intersect the element lists of the surviving segment pairs. The
+// expected work is O(n/√w + r) (Proposition 1).
+//
+// The package also provides the paper's extensions: k-way intersection
+// (Section VI, O(kn/√w + r)), the hash-probe strategy for dramatically
+// skewed inputs (FESIAhash, O(min(n1, n2))), an adaptive strategy switch,
+// and multicore parallel intersection by bitmap partitioning.
+package core
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"fesia/internal/bitmap"
+	"fesia/internal/hashutil"
+	"fesia/internal/kernels"
+	"fesia/internal/simd"
+)
+
+// Config controls how a Set is built. Sets that will be intersected together
+// must be built with identical Width, SegBits, Seed and Stride; bitmap sizes
+// may differ (they are reconciled via the power-of-two wrapping rule).
+type Config struct {
+	// Width selects the emulated vector ISA (SSE, AVX, AVX512).
+	// Default: AVX.
+	Width simd.Width
+
+	// SegBits is the segment size s in bits: 8, 16 or 32. Smaller segments
+	// mean more, smaller segment intersections (see Fig. 14). Default: 8.
+	SegBits int
+
+	// Scale is the number of bitmap bits per element before rounding m up
+	// to a power of two. The paper's analysis picks m = n·√w; 0 means use
+	// √Width. Fig. 14 sweeps this knob.
+	Scale float64
+
+	// Seed salts the universal hash function.
+	Seed uint64
+
+	// Stride samples the specialized-kernel sizes (Section VI): 1 keeps
+	// every kernel; 4 and 8 shrink the jump table as in Table II. Strides
+	// other than 1 require Width == AVX512 (the generated tables).
+	// Default: 1.
+	Stride int
+}
+
+// DefaultConfig returns the configuration used throughout the paper's main
+// experiments: AVX-256, 8-bit segments, m = n·√w.
+func DefaultConfig() Config {
+	return Config{Width: simd.WidthAVX, SegBits: 8, Scale: 0, Seed: 0, Stride: 1}
+}
+
+// normalize validates cfg and fills defaults.
+func (c Config) normalize() (Config, error) {
+	if c.Width == 0 {
+		c.Width = simd.WidthAVX
+	}
+	if !c.Width.Valid() {
+		return c, fmt.Errorf("core: invalid width %d", c.Width)
+	}
+	if c.SegBits == 0 {
+		c.SegBits = 8
+	}
+	ok := false
+	for _, s := range bitmap.SupportedSegBits {
+		if s == c.SegBits {
+			ok = true
+		}
+	}
+	if !ok {
+		return c, fmt.Errorf("core: unsupported segment size %d", c.SegBits)
+	}
+	if c.Scale == 0 {
+		c.Scale = math.Sqrt(float64(c.Width.Bits()))
+	}
+	if c.Scale <= 0 || math.IsNaN(c.Scale) || math.IsInf(c.Scale, 0) {
+		return c, fmt.Errorf("core: invalid bitmap scale %v", c.Scale)
+	}
+	if c.Stride == 0 {
+		c.Stride = 1
+	}
+	if c.Stride != 1 && c.Width != simd.WidthAVX512 {
+		return c, fmt.Errorf("core: kernel stride %d requires AVX512", c.Stride)
+	}
+	if c.Stride != 1 && c.Stride != 4 && c.Stride != 8 {
+		return c, fmt.Errorf("core: unsupported kernel stride %d", c.Stride)
+	}
+	return c, nil
+}
+
+func (c Config) table() *kernels.Table {
+	if c.Stride != 1 {
+		return kernels.ForStride(c.Stride)
+	}
+	return kernels.ForWidth(c.Width)
+}
+
+// Set is a FESIA segmented-bitmap set (the paper's Fig. 1 data structure).
+// It is immutable after construction and safe for concurrent reads.
+type Set struct {
+	cfg    Config
+	hasher hashutil.Hasher
+	table  *kernels.Table
+	disp   kernels.Dispatcher // cached jump-table view for the hot loop
+
+	bm        *bitmap.Bitmap
+	offsets   []uint32 // nseg+1 prefix sums into reordered
+	sizes     []uint32 // per-segment element counts (the paper's Size array)
+	reordered []uint32 // the paper's ReorderedSet
+	n         int
+	maxSeg    int // largest segment size, for scratch buffer sizing
+}
+
+// NewSet builds a Set from elems. The input may be unsorted and contain
+// duplicates; it is copied, sorted, and deduplicated. NewSet returns an
+// error only for invalid configurations.
+func NewSet(elems []uint32, cfg Config) (*Set, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	sorted := sortDedup(elems)
+	mBits := bitmapBits(len(sorted), cfg.Scale)
+	nseg := int(mBits) / cfg.SegBits
+	s := newShell(cfg, mBits,
+		make([]uint32, nseg), make([]uint32, nseg+1), make([]uint32, len(sorted)))
+	s.fill(sorted)
+	return s, nil
+}
+
+// NewSetBatch builds one Set per input list with all backing arrays packed
+// into three shared arenas, so a workload that intersects many small sets —
+// per-vertex neighbor sets in triangle counting, per-item posting lists in
+// an inverted index — touches contiguous memory instead of one scattered
+// allocation per set. The sets behave exactly like NewSet's.
+func NewSetBatch(lists [][]uint32, cfg Config) ([]*Set, error) {
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	sortedLists := make([][]uint32, len(lists))
+	var totalSegs, totalElems int
+	mBitsOf := make([]uint64, len(lists))
+	for i, l := range lists {
+		sorted := sortDedup(l)
+		sortedLists[i] = sorted
+		m := bitmapBits(len(sorted), cfg.Scale)
+		mBitsOf[i] = m
+		totalSegs += int(m) / cfg.SegBits
+		totalElems += len(sorted)
+	}
+	sizesArena := make([]uint32, totalSegs)
+	offsetsArena := make([]uint32, totalSegs+len(lists))
+	elemsArena := make([]uint32, totalElems)
+
+	sets := make([]*Set, len(lists))
+	segAt, offAt, elemAt := 0, 0, 0
+	for i, sorted := range sortedLists {
+		nseg := int(mBitsOf[i]) / cfg.SegBits
+		s := newShell(cfg, mBitsOf[i],
+			sizesArena[segAt:segAt+nseg:segAt+nseg],
+			offsetsArena[offAt:offAt+nseg+1:offAt+nseg+1],
+			elemsArena[elemAt:elemAt+len(sorted):elemAt+len(sorted)])
+		s.fill(sorted)
+		sets[i] = s
+		segAt += nseg
+		offAt += nseg + 1
+		elemAt += len(sorted)
+	}
+	return sets, nil
+}
+
+// sortDedup copies, sorts and deduplicates the input.
+func sortDedup(elems []uint32) []uint32 {
+	sorted := append([]uint32(nil), elems...)
+	slices.Sort(sorted)
+	k := 0
+	for i, v := range sorted {
+		if i == 0 || v != sorted[k-1] {
+			sorted[k] = v
+			k++
+		}
+	}
+	return sorted[:k]
+}
+
+// bitmapBits returns m = nextPow2(n·scale), at least one word.
+func bitmapBits(n int, scale float64) uint64 {
+	mBits := hashutil.NextPow2(uint64(math.Ceil(float64(n) * scale)))
+	if mBits < 64 {
+		mBits = 64
+	}
+	return mBits
+}
+
+// newShell assembles a Set around preallocated (possibly arena-backed)
+// sizes/offsets/reordered storage. Callers must fill() it before use.
+func newShell(cfg Config, mBits uint64, sizes, offsets, reordered []uint32) *Set {
+	table := cfg.table()
+	return &Set{
+		cfg:       cfg,
+		hasher:    hashutil.New(cfg.Seed),
+		table:     table,
+		disp:      table.Dispatcher(),
+		bm:        bitmap.New(mBits, cfg.SegBits),
+		n:         len(reordered),
+		sizes:     sizes,
+		offsets:   offsets,
+		reordered: reordered,
+	}
+}
+
+// fill populates the bitmap and the Fig. 1 arrays from a sorted
+// duplicate-free element list.
+func (s *Set) fill(sorted []uint32) {
+	mBits := s.bm.Bits()
+	nseg := s.bm.NumSegments()
+	segOf := make([]int32, len(sorted))
+	for i, x := range sorted {
+		pos := s.hasher.Pos(x, mBits)
+		s.bm.Set(pos)
+		seg := s.bm.SegmentOf(pos)
+		segOf[i] = int32(seg)
+		s.sizes[seg]++
+	}
+	sum := uint32(0)
+	for i, c := range s.sizes {
+		s.offsets[i] = sum
+		sum += c
+		if int(c) > s.maxSeg {
+			s.maxSeg = int(c)
+		}
+	}
+	s.offsets[nseg] = sum
+
+	// Filling in ascending input order keeps each segment's list sorted
+	// ascending, as the paper requires.
+	next := append([]uint32(nil), s.offsets[:nseg]...)
+	for i, x := range sorted {
+		seg := segOf[i]
+		s.reordered[next[seg]] = x
+		next[seg]++
+	}
+}
+
+// MustNewSet is NewSet for known-good configurations; it panics on error.
+func MustNewSet(elems []uint32, cfg Config) *Set {
+	s, err := NewSet(elems, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of distinct elements.
+func (s *Set) Len() int { return s.n }
+
+// Config returns the normalized build configuration.
+func (s *Set) Config() Config { return s.cfg }
+
+// BitmapBits returns m, the bitmap size in bits.
+func (s *Set) BitmapBits() uint64 { return s.bm.Bits() }
+
+// NumSegments returns m/s.
+func (s *Set) NumSegments() int { return s.bm.NumSegments() }
+
+// MaxSegmentLen returns the size of the largest segment list.
+func (s *Set) MaxSegmentLen() int { return s.maxSeg }
+
+// segment returns the sorted element list of segment i.
+func (s *Set) segment(i int) []uint32 {
+	return s.reordered[s.offsets[i]:s.offsets[i+1]]
+}
+
+// Segment returns a copy-free view of segment i's sorted elements. The
+// returned slice must not be modified.
+func (s *Set) Segment(i int) []uint32 { return s.segment(i) }
+
+// Contains reports whether x is in the set, using the single-element probe
+// of the skewed-input strategy: test the bitmap bit, then search the one
+// segment the bit selects.
+func (s *Set) Contains(x uint32) bool {
+	pos := s.hasher.Pos(x, s.bm.Bits())
+	if !s.bm.Test(pos) {
+		return false
+	}
+	for _, v := range s.segment(s.bm.SegmentOf(pos)) {
+		if v == x {
+			return true
+		}
+		if v > x {
+			return false
+		}
+	}
+	return false
+}
+
+// Elements returns the set's distinct elements in ascending order (a fresh
+// slice).
+func (s *Set) Elements() []uint32 {
+	out := append([]uint32(nil), s.reordered...)
+	slices.Sort(out)
+	return out
+}
+
+// MemoryBytes reports the approximate heap footprint of the structure, for
+// the dataset tables.
+func (s *Set) MemoryBytes() int {
+	return len(s.bm.Words())*8 + len(s.offsets)*4 + len(s.sizes)*4 + len(s.reordered)*4
+}
+
+// Stats summarizes the segmented-bitmap layout of a Set — the quantities
+// the Section III-D analysis reasons about when choosing m and s.
+type Stats struct {
+	N                int     // distinct elements
+	BitmapBits       uint64  // m
+	SegmentBits      int     // s
+	Segments         int     // m/s
+	NonEmptySegments int     // segments holding at least one element
+	MaxSegmentLen    int     // largest segment list
+	MeanOccupied     float64 // mean elements per non-empty segment
+	BitDensity       float64 // set bits / m (drives false-positive rate)
+	// SegmentSizeHist[k] counts segments with exactly k elements, for
+	// k < len(SegmentSizeHist); the last bucket aggregates everything
+	// at or above its index.
+	SegmentSizeHist []int
+}
+
+// Stats computes layout statistics (O(m/s)).
+func (s *Set) Stats() Stats {
+	st := Stats{
+		N:           s.n,
+		BitmapBits:  s.bm.Bits(),
+		SegmentBits: s.bm.SegBits(),
+		Segments:    s.bm.NumSegments(),
+	}
+	const histBuckets = 9
+	st.SegmentSizeHist = make([]int, histBuckets)
+	for _, c := range s.sizes {
+		k := int(c)
+		if k > 0 {
+			st.NonEmptySegments++
+			st.MaxSegmentLen = max(st.MaxSegmentLen, k)
+		}
+		st.SegmentSizeHist[min(k, histBuckets-1)]++
+	}
+	if st.NonEmptySegments > 0 {
+		st.MeanOccupied = float64(s.n) / float64(st.NonEmptySegments)
+	}
+	st.BitDensity = float64(s.bm.PopCount()) / float64(s.bm.Bits())
+	return st
+}
+
+// compatible panics unless two sets can be intersected against each other.
+func compatible(a, b *Set) {
+	if a.cfg.Seed != b.cfg.Seed {
+		panic("core: sets built with different hash seeds")
+	}
+	if a.cfg.SegBits != b.cfg.SegBits {
+		panic("core: sets built with different segment sizes")
+	}
+	if a.table != b.table {
+		panic("core: sets built with different kernel tables")
+	}
+}
+
+// ordered returns the pair with the larger bitmap first, as
+// bitmap.ForEachIntersectingSegment requires.
+func ordered(a, b *Set) (large, small *Set) {
+	if a.bm.Bits() >= b.bm.Bits() {
+		return a, b
+	}
+	return b, a
+}

@@ -1,0 +1,159 @@
+// Package datasets generates the synthetic and real-world-like workloads of
+// the FESIA evaluation (Section VII).
+//
+// Synthetic workloads (Figures 7-11) control three knobs directly: input
+// size n, selectivity r/n, and skew n1/n2. GenPair produces sorted distinct
+// sets with an exact intersection size; GenGroup produces k sets whose
+// overlap is governed by a density parameter as in Fig. 10.
+//
+// The real-world datasets the paper uses (the FIMI WebDocs corpus and the
+// SNAP Patents/HepPh/LiveJournal graphs) cannot be downloaded in this
+// offline reproduction, so this package provides generators that match the
+// properties the experiments exercise — Zipf-skewed posting-list lengths
+// with low-selectivity queries for the database task, and heavy-tailed
+// degree distributions with tunable triangle density for the graph task.
+// See DESIGN.md for the substitution rationale.
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+)
+
+// GenPair returns two sorted duplicate-free sets with |a| = n1, |b| = n2 and
+// |a ∩ b| = r exactly, drawn from [0, universe). It panics if the universe
+// cannot accommodate the request.
+func GenPair(rng *rand.Rand, n1, n2, r int, universe uint32) (a, b []uint32) {
+	if r > n1 || r > n2 {
+		panic(fmt.Sprintf("datasets: intersection %d larger than a set (%d, %d)", r, n1, n2))
+	}
+	need := n1 + n2 - r
+	if uint64(need) > uint64(universe) {
+		panic(fmt.Sprintf("datasets: universe %d too small for %d distinct values", universe, need))
+	}
+	vals := sampleDistinct(rng, need, universe)
+	common := vals[:r]
+	onlyA := vals[r : r+(n1-r)]
+	onlyB := vals[r+(n1-r):]
+
+	a = make([]uint32, 0, n1)
+	a = append(a, common...)
+	a = append(a, onlyA...)
+	b = make([]uint32, 0, n2)
+	b = append(b, common...)
+	b = append(b, onlyB...)
+	sortU32(a)
+	sortU32(b)
+	return a, b
+}
+
+// GenPairSelectivity is GenPair with the intersection size given as a
+// fraction of min(n1, n2) — the paper's selectivity knob (Figures 8-9).
+func GenPairSelectivity(rng *rand.Rand, n1, n2 int, selectivity float64, universe uint32) (a, b []uint32) {
+	if selectivity < 0 || selectivity > 1 {
+		panic(fmt.Sprintf("datasets: selectivity %v out of [0,1]", selectivity))
+	}
+	r := int(selectivity * float64(min(n1, n2)))
+	return GenPair(rng, n1, n2, r, universe)
+}
+
+// GenGroup returns k sorted distinct sets of size n each for the k-way
+// experiment (Fig. 10). density in [0, 1] controls how clustered the value
+// range is: each set is drawn from a universe of about n/density values, so
+// the expected k-way selectivity scales like density^(k-1); density 0 gives
+// pairwise-disjoint ranges (selectivity exactly zero).
+func GenGroup(rng *rand.Rand, k, n int, density float64) [][]uint32 {
+	if k < 1 || n < 0 {
+		panic("datasets: invalid k-way shape")
+	}
+	if density < 0 || density > 1 {
+		panic(fmt.Sprintf("datasets: density %v out of [0,1]", density))
+	}
+	sets := make([][]uint32, k)
+	if density == 0 {
+		// Disjoint ranges: nothing can intersect.
+		for i := range sets {
+			base := uint32(i * n * 2)
+			sets[i] = sampleDistinctOffset(rng, n, uint32(2*n), base)
+		}
+		return sets
+	}
+	universe := uint32(float64(n) / density)
+	if universe < uint32(n) {
+		universe = uint32(n)
+	}
+	for i := range sets {
+		sets[i] = sampleDistinct(rng, n, universe)
+		sortU32(sets[i])
+	}
+	return sets
+}
+
+// sampleDistinct draws n distinct values uniformly from [0, universe).
+// For dense requests (n > universe/2) it uses a partial Fisher-Yates over
+// the whole range; otherwise rejection sampling.
+func sampleDistinct(rng *rand.Rand, n int, universe uint32) []uint32 {
+	if n == 0 {
+		return nil
+	}
+	if uint64(n) > uint64(universe) {
+		panic("datasets: cannot draw more distinct values than the universe holds")
+	}
+	if uint64(n)*2 > uint64(universe) {
+		perm := make([]uint32, universe)
+		for i := range perm {
+			perm[i] = uint32(i)
+		}
+		for i := 0; i < n; i++ {
+			j := i + rng.Intn(len(perm)-i)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		return perm[:n]
+	}
+	seen := make(map[uint32]struct{}, n)
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		v := uint32(rng.Int63n(int64(universe)))
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sampleDistinctOffset(rng *rand.Rand, n int, span, base uint32) []uint32 {
+	vals := sampleDistinct(rng, n, span)
+	for i := range vals {
+		vals[i] += base
+	}
+	sortU32(vals)
+	return vals
+}
+
+func sortU32(s []uint32) {
+	slices.Sort(s)
+}
+
+// Selectivity returns |a ∩ b| / min(|a|, |b|) for sorted distinct inputs,
+// used by tests and workload validation.
+func Selectivity(a, b []uint32) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	i, j, r := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			r++
+			i++
+			j++
+		}
+	}
+	return float64(r) / float64(min(len(a), len(b)))
+}

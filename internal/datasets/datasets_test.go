@@ -1,0 +1,323 @@
+package datasets
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func isSortedDistinct(s []uint32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] >= s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func exactIntersection(a, b []uint32) int {
+	in := make(map[uint32]bool, len(a))
+	for _, v := range a {
+		in[v] = true
+	}
+	r := 0
+	for _, v := range b {
+		if in[v] {
+			r++
+		}
+	}
+	return r
+}
+
+func TestGenPairExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		n1, n2, r int
+		universe  uint32
+	}{
+		{10, 10, 0, 100}, {10, 10, 10, 100}, {100, 50, 25, 1000},
+		{1000, 1000, 10, 1 << 20}, {5, 5000, 5, 1 << 20}, {0, 0, 0, 10},
+		{7, 7, 7, 14}, // dense: needs the Fisher-Yates path
+	}
+	for _, c := range cases {
+		a, b := GenPair(rng, c.n1, c.n2, c.r, c.universe)
+		if len(a) != c.n1 || len(b) != c.n2 {
+			t.Errorf("GenPair(%+v): sizes %d, %d", c, len(a), len(b))
+		}
+		if !isSortedDistinct(a) || !isSortedDistinct(b) {
+			t.Errorf("GenPair(%+v): not sorted distinct", c)
+		}
+		if got := exactIntersection(a, b); got != c.r {
+			t.Errorf("GenPair(%+v): intersection %d, want %d", c, got, c.r)
+		}
+		for _, v := range append(append([]uint32{}, a...), b...) {
+			if v >= c.universe {
+				t.Errorf("GenPair(%+v): value %d outside universe", c, v)
+			}
+		}
+	}
+}
+
+func TestGenPairPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, bad := range []func(){
+		func() { GenPair(rng, 5, 5, 6, 100) },
+		func() { GenPair(rng, 100, 100, 0, 50) },
+		func() { GenPairSelectivity(rng, 10, 10, 1.5, 100) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestGenPairSelectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, sel := range []float64{0, 0.01, 0.1, 0.5, 1} {
+		a, b := GenPairSelectivity(rng, 1000, 2000, sel, 1<<22)
+		got := Selectivity(a, b)
+		if got < sel-0.001 || got > sel+0.001 {
+			t.Errorf("selectivity %v: measured %v", sel, got)
+		}
+	}
+}
+
+// Property: GenPair always produces the exact requested intersection.
+func TestGenPairProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(s1, s2, sr uint16) bool {
+		n1 := int(s1%500) + 1
+		n2 := int(s2%500) + 1
+		r := int(sr) % (min(n1, n2) + 1)
+		a, b := GenPair(rng, n1, n2, r, 1<<20)
+		return exactIntersection(a, b) == r && isSortedDistinct(a) && isSortedDistinct(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sets := GenGroup(rng, 3, 1000, 0.5)
+	if len(sets) != 3 {
+		t.Fatalf("k = %d", len(sets))
+	}
+	for _, s := range sets {
+		if len(s) != 1000 || !isSortedDistinct(s) {
+			t.Error("bad member set")
+		}
+	}
+	// Density 0: disjoint.
+	disjoint := GenGroup(rng, 3, 500, 0)
+	if exactIntersection(disjoint[0], disjoint[1]) != 0 ||
+		exactIntersection(disjoint[1], disjoint[2]) != 0 {
+		t.Error("density 0 must be disjoint")
+	}
+	// Higher density must give (much) higher overlap on average.
+	lo := GenGroup(rng, 2, 2000, 0.05)
+	hi := GenGroup(rng, 2, 2000, 0.9)
+	if exactIntersection(hi[0], hi[1]) <= exactIntersection(lo[0], lo[1]) {
+		t.Error("density should increase overlap")
+	}
+}
+
+func TestGenGroupPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, bad := range []func(){
+		func() { GenGroup(rng, 0, 10, 0.5) },
+		func() { GenGroup(rng, 2, -1, 0.5) },
+		func() { GenGroup(rng, 2, 10, 1.5) },
+		func() { GenGroup(rng, 2, 10, -0.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+	// Density 1: universe clamps to n, sets are the full range.
+	full := GenGroup(rng, 2, 100, 1)
+	if len(full[0]) != 100 || exactIntersection(full[0], full[1]) != 100 {
+		t.Error("density 1 should yield identical full-range sets")
+	}
+}
+
+func TestCorpusDefaults(t *testing.T) {
+	cfg := CorpusConfig{}.withDefaults()
+	if cfg.NumDocs != 200_000 || cfg.NumItems != 500_000 || cfg.MeanLen != 40 ||
+		cfg.ZipfS != 1.2 || cfg.ZipfV != 4 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	// Explicit values survive.
+	cfg = CorpusConfig{NumDocs: 7, NumItems: 8, MeanLen: 9, ZipfS: 2, ZipfV: 5}.withDefaults()
+	if cfg.NumDocs != 7 || cfg.ZipfS != 2 {
+		t.Errorf("explicit values overwritten: %+v", cfg)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid corpus config should panic")
+		}
+	}()
+	NewCorpus(CorpusConfig{NumDocs: -1, NumItems: 5, MeanLen: 2})
+}
+
+func TestSampleQueriesPanics(t *testing.T) {
+	c := NewCorpus(CorpusConfig{NumDocs: 200, NumItems: 300, MeanLen: 5, Seed: 14})
+	rng := rand.New(rand.NewSource(15))
+	for _, bad := range []func(){
+		func() { c.SampleQueries(rng, 1, 1, 1, 1, 0) },         // k < 2
+		func() { c.SampleQueries(rng, 1, 2, 1_000_000, 1, 0) }, // minLen unsatisfiable
+		func() { c.SampleQueries(rng, 50, 2, 1, 1, 1e-9) },     // skew bound unsatisfiable
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestSelectivityHelper(t *testing.T) {
+	if Selectivity(nil, []uint32{1}) != 0 {
+		t.Error("empty set selectivity should be 0")
+	}
+	if got := Selectivity([]uint32{1, 2, 3}, []uint32{2, 3, 4, 5}); got != 2.0/3.0 {
+		t.Errorf("Selectivity = %v", got)
+	}
+}
+
+func TestCorpus(t *testing.T) {
+	c := NewCorpus(CorpusConfig{NumDocs: 2000, NumItems: 5000, MeanLen: 20, Seed: 5})
+	if c.NumDocs != 2000 || c.DistinctItems() == 0 {
+		t.Fatalf("corpus: docs=%d items=%d", c.NumDocs, c.DistinctItems())
+	}
+	// Posting lists sorted distinct, doc IDs in range.
+	for item, lst := range c.Postings {
+		if !isSortedDistinct(lst) {
+			t.Fatalf("posting list of %d not sorted distinct", item)
+		}
+		for _, d := range lst {
+			if int(d) >= c.NumDocs {
+				t.Fatalf("doc %d out of range", d)
+			}
+		}
+	}
+	// Zipf skew: most frequent item should dominate the median.
+	top := len(c.Postings[c.itemsByFreq[0]])
+	median := len(c.Postings[c.itemsByFreq[len(c.itemsByFreq)/2]])
+	if top < 10*median {
+		t.Errorf("posting lengths not skewed: top=%d median=%d", top, median)
+	}
+	if c.Posting(^uint32(0)) != nil && len(c.Posting(^uint32(0))) == 0 {
+		t.Error("absent item should return nil posting")
+	}
+}
+
+func TestSampleQueries(t *testing.T) {
+	c := NewCorpus(CorpusConfig{NumDocs: 5000, NumItems: 3000, MeanLen: 30, Seed: 6})
+	rng := rand.New(rand.NewSource(7))
+	qs := c.SampleQueries(rng, 20, 2, 50, 0.2, 0)
+	if len(qs) != 20 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if len(q.Postings) != 2 || len(q.Items) != 2 {
+			t.Fatal("bad query shape")
+		}
+		if len(q.Postings[0]) < 50 || len(q.Postings[1]) < 50 {
+			t.Error("posting below minLen")
+		}
+		if s := Selectivity(q.Postings[0], q.Postings[1]); s > 0.2 {
+			t.Errorf("selectivity %v above bound", s)
+		}
+	}
+	// Three-keyword queries.
+	q3 := c.SampleQueries(rng, 5, 3, 50, 0.3, 0)
+	for _, q := range q3 {
+		if len(q.Postings) != 3 {
+			t.Error("bad 3-way query")
+		}
+	}
+	// Skew-bounded queries.
+	skewed := c.SampleQueries(rng, 5, 2, 20, 0.5, 0.2)
+	for _, q := range skewed {
+		ratio := float64(len(q.Postings[0])) / float64(len(q.Postings[1]))
+		if ratio > 0.2 {
+			t.Errorf("query skew %v above 0.2", ratio)
+		}
+	}
+}
+
+func TestGraph(t *testing.T) {
+	g := NewGraph(GraphConfig{Nodes: 3000, EdgesPer: 5, Clustering: 0.5, Seed: 8})
+	if g.Nodes != 3000 {
+		t.Fatal("nodes")
+	}
+	if g.NumEdges() < 3000*4 {
+		t.Errorf("too few edges: %d", g.NumEdges())
+	}
+	seen := map[[2]uint32]bool{}
+	degree := make([]int, g.Nodes)
+	for _, e := range g.Edges {
+		if e[0] >= e[1] {
+			t.Fatalf("edge not canonical: %v", e)
+		}
+		if int(e[1]) >= g.Nodes {
+			t.Fatalf("edge endpoint out of range: %v", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate edge %v", e)
+		}
+		seen[e] = true
+		degree[e[0]]++
+		degree[e[1]]++
+	}
+	// Heavy tail: max degree far above the mean.
+	maxDeg, sum := 0, 0
+	for _, d := range degree {
+		sum += d
+		maxDeg = max(maxDeg, d)
+	}
+	mean := float64(sum) / float64(len(degree))
+	if float64(maxDeg) < 5*mean {
+		t.Errorf("degree distribution not heavy-tailed: max=%d mean=%.1f", maxDeg, mean)
+	}
+}
+
+func TestStandardGraphs(t *testing.T) {
+	std := StandardGraphs()
+	if len(std) != 3 {
+		t.Fatalf("want 3 standard graphs, got %d", len(std))
+	}
+	names := map[string]bool{}
+	for _, sg := range std {
+		names[sg.Name] = true
+		if sg.Cfg.Nodes < 1000 {
+			t.Errorf("%s too small", sg.Name)
+		}
+	}
+	if !names["Patents-like"] || !names["HepPh-like"] || !names["LiveJournal-like"] {
+		t.Error("missing a standard graph")
+	}
+}
+
+func TestGraphPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("tiny graph should panic")
+		}
+	}()
+	NewGraph(GraphConfig{Nodes: 2})
+}

@@ -1,0 +1,111 @@
+package datasets
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FIMI transaction format support. The Frequent Itemset Mining repository
+// (the paper's WebDocs source, reference [19]) distributes datasets as plain
+// text: one transaction (document) per line, whitespace-separated item IDs.
+// ReadFIMI lets the database-query experiments run on the real WebDocs file
+// when it is available; the generated Zipf corpus stands in otherwise.
+
+// ReadFIMI parses a FIMI transaction stream into a Corpus. Document IDs are
+// assigned in line order; maxDocs > 0 truncates the stream (WebDocs has
+// 1.7M transactions — truncation gives laptop-scale slices of the real
+// data). Duplicate items within one transaction collapse.
+func ReadFIMI(r io.Reader, maxDocs int) (*Corpus, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 16<<20) // WebDocs has very long lines
+	postings := make(map[uint32][]uint32)
+	doc := 0
+	maxItem := uint32(0)
+	for sc.Scan() {
+		if maxDocs > 0 && doc >= maxDocs {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var prevInDoc map[uint32]bool
+		for _, field := range strings.Fields(line) {
+			v, err := strconv.ParseUint(field, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("datasets: line %d: bad item %q: %w", doc+1, field, err)
+			}
+			item := uint32(v)
+			if prevInDoc == nil {
+				prevInDoc = make(map[uint32]bool, 8)
+			}
+			if prevInDoc[item] {
+				continue
+			}
+			prevInDoc[item] = true
+			postings[item] = append(postings[item], uint32(doc))
+			if item > maxItem {
+				maxItem = item
+			}
+		}
+		doc++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("datasets: reading FIMI stream: %w", err)
+	}
+	if doc == 0 {
+		return nil, fmt.Errorf("datasets: FIMI stream contains no transactions")
+	}
+	c := &Corpus{
+		NumDocs:  doc,
+		NumItems: int(maxItem) + 1,
+		Postings: postings,
+	}
+	c.itemsByFreq = make([]uint32, 0, len(postings))
+	for item := range postings {
+		c.itemsByFreq = append(c.itemsByFreq, item)
+	}
+	sort.Slice(c.itemsByFreq, func(i, j int) bool {
+		li, lj := len(postings[c.itemsByFreq[i]]), len(postings[c.itemsByFreq[j]])
+		if li != lj {
+			return li > lj
+		}
+		return c.itemsByFreq[i] < c.itemsByFreq[j]
+	})
+	return c, nil
+}
+
+// WriteFIMI writes the corpus in FIMI transaction format (one line per
+// document, ascending item IDs), the inverse of ReadFIMI.
+func (c *Corpus) WriteFIMI(w io.Writer) error {
+	// Invert postings into per-document item lists.
+	docs := make([][]uint32, c.NumDocs)
+	for item, lst := range c.Postings {
+		for _, d := range lst {
+			docs[d] = append(docs[d], item)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	for _, items := range docs {
+		slices.Sort(items)
+		for i, it := range items {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(it), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,83 @@
+package datasets
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadFIMI(t *testing.T) {
+	in := strings.NewReader("1 2 3\n2 3 4\n\n3 4 5 5\n")
+	c, err := ReadFIMI(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDocs != 3 {
+		t.Fatalf("NumDocs = %d, want 3 (blank lines skipped)", c.NumDocs)
+	}
+	if got := c.Posting(3); len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("Posting(3) = %v", got)
+	}
+	if got := c.Posting(5); len(got) != 1 {
+		t.Errorf("duplicate in-transaction item should collapse: %v", got)
+	}
+	if got := c.Posting(99); got != nil {
+		t.Errorf("absent item = %v", got)
+	}
+	if c.DistinctItems() != 5 {
+		t.Errorf("DistinctItems = %d", c.DistinctItems())
+	}
+}
+
+func TestReadFIMITruncation(t *testing.T) {
+	in := strings.NewReader("1\n2\n3\n4\n")
+	c, err := ReadFIMI(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumDocs != 2 || c.Posting(3) != nil {
+		t.Errorf("truncation failed: docs=%d", c.NumDocs)
+	}
+}
+
+func TestReadFIMIErrors(t *testing.T) {
+	if _, err := ReadFIMI(strings.NewReader("1 two 3\n"), 0); err == nil {
+		t.Error("non-numeric item should fail")
+	}
+	if _, err := ReadFIMI(strings.NewReader(""), 0); err == nil {
+		t.Error("empty stream should fail")
+	}
+	if _, err := ReadFIMI(strings.NewReader("99999999999999999999\n"), 0); err == nil {
+		t.Error("out-of-range item should fail")
+	}
+}
+
+func TestFIMIRoundTrip(t *testing.T) {
+	orig := NewCorpus(CorpusConfig{NumDocs: 500, NumItems: 2000, MeanLen: 15, Seed: 44})
+	var buf bytes.Buffer
+	if err := orig.WriteFIMI(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFIMI(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty trailing documents may collapse NumDocs; postings must match
+	// for all items that occur.
+	if len(got.Postings) != len(orig.Postings) {
+		t.Fatalf("item counts differ: %d vs %d", len(got.Postings), len(orig.Postings))
+	}
+	for item, want := range orig.Postings {
+		gp := got.Posting(item)
+		if len(gp) != len(want) {
+			t.Fatalf("item %d posting length %d, want %d", item, len(gp), len(want))
+		}
+		for i := range want {
+			if gp[i] != want[i] {
+				t.Fatalf("item %d posting differs at %d", item, i)
+			}
+		}
+	}
+	// The round-tripped corpus must still support query sampling.
+	_ = got.itemsByFreq[0]
+}

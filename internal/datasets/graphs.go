@@ -1,0 +1,119 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GraphConfig sizes a synthetic analytics graph. The generator combines
+// preferential attachment (heavy-tailed degrees, like the SNAP citation and
+// social graphs of Table III) with explicit triadic closure (each new edge
+// closes a random open triangle with probability Clustering), so triangle
+// counts are non-trivial as in the paper's Fig. 13 workloads.
+type GraphConfig struct {
+	Nodes      int     // number of vertices
+	EdgesPer   int     // attachment edges per new vertex (mean degree ≈ 2·EdgesPer)
+	Clustering float64 // probability of adding one triadic-closure edge per new vertex
+	Seed       int64
+}
+
+// Graph is an undirected simple graph in edge-list form. Vertices are
+// 0..Nodes-1.
+type Graph struct {
+	Nodes int
+	Edges [][2]uint32
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.Edges) }
+
+// NewGraph generates a graph per cfg.
+func NewGraph(cfg GraphConfig) *Graph {
+	if cfg.Nodes < 3 {
+		panic(fmt.Sprintf("datasets: graph needs at least 3 nodes, got %d", cfg.Nodes))
+	}
+	if cfg.EdgesPer < 1 {
+		cfg.EdgesPer = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type edge = [2]uint32
+	seen := make(map[edge]bool)
+	var edges []edge
+	// endpoints holds one entry per edge endpoint, so uniform sampling from
+	// it is degree-proportional (preferential attachment).
+	endpoints := make([]uint32, 0, cfg.Nodes*cfg.EdgesPer*2)
+
+	addEdge := func(u, v uint32) bool {
+		if u == v {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		e := edge{u, v}
+		if seen[e] {
+			return false
+		}
+		seen[e] = true
+		edges = append(edges, e)
+		endpoints = append(endpoints, u, v)
+		return true
+	}
+
+	// Seed triangle.
+	addEdge(0, 1)
+	addEdge(1, 2)
+	addEdge(0, 2)
+
+	adj := make([][]uint32, cfg.Nodes)
+	adj[0] = []uint32{1, 2}
+	adj[1] = []uint32{0, 2}
+	adj[2] = []uint32{0, 1}
+
+	for v := 3; v < cfg.Nodes; v++ {
+		var firstTarget uint32
+		attached := 0
+		for attempt := 0; attached < cfg.EdgesPer && attempt < cfg.EdgesPer*20; attempt++ {
+			t := endpoints[rng.Intn(len(endpoints))]
+			if addEdge(uint32(v), t) {
+				adj[v] = append(adj[v], t)
+				adj[t] = append(adj[t], uint32(v))
+				if attached == 0 {
+					firstTarget = t
+				}
+				attached++
+			}
+		}
+		// Triadic closure: connect v to a neighbor of its first target,
+		// guaranteeing a triangle (v, firstTarget, w).
+		if attached > 0 && rng.Float64() < cfg.Clustering {
+			nbrs := adj[firstTarget]
+			w := nbrs[rng.Intn(len(nbrs))]
+			if addEdge(uint32(v), w) {
+				adj[v] = append(adj[v], w)
+				adj[w] = append(adj[w], uint32(v))
+			}
+		}
+	}
+	return &Graph{Nodes: cfg.Nodes, Edges: edges}
+}
+
+// StandardGraphs returns the three Fig. 13 workloads scaled to
+// benchmark-friendly sizes: "Patents"-like (large, sparse, moderate
+// clustering), "HepPh"-like (small, dense, highly clustered), and
+// "LiveJournal"-like (large, denser, heavy-tailed). See DESIGN.md for the
+// substitution note.
+func StandardGraphs() []struct {
+	Name string
+	Cfg  GraphConfig
+} {
+	return []struct {
+		Name string
+		Cfg  GraphConfig
+	}{
+		{"Patents-like", GraphConfig{Nodes: 120_000, EdgesPer: 4, Clustering: 0.3, Seed: 101}},
+		{"HepPh-like", GraphConfig{Nodes: 12_000, EdgesPer: 12, Clustering: 0.8, Seed: 102}},
+		{"LiveJournal-like", GraphConfig{Nodes: 150_000, EdgesPer: 8, Clustering: 0.5, Seed: 103}},
+	}
+}

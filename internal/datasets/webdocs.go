@@ -1,0 +1,183 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Corpus is a WebDocs-like transaction corpus: a collection of documents,
+// each a set of item IDs, with Zipf-distributed item popularity so that
+// posting-list lengths are heavily skewed — the property that makes the
+// paper's database query task (Fig. 12) interesting.
+type Corpus struct {
+	NumDocs  int
+	NumItems int
+	// Postings maps every item that occurs at least once to the sorted
+	// list of document IDs containing it.
+	Postings map[uint32][]uint32
+
+	itemsByFreq []uint32 // items sorted by descending posting length
+}
+
+// CorpusConfig sizes a WebDocs-like corpus. The FIMI WebDocs dataset has
+// ~1.7M documents over ~5.3M distinct items with a mean transaction length
+// around 177; the defaults scale that shape down to benchmark-friendly
+// sizes while keeping the Zipf skew.
+type CorpusConfig struct {
+	NumDocs  int     // default 200_000
+	NumItems int     // default 500_000
+	MeanLen  int     // mean items per document, default 40
+	ZipfS    float64 // Zipf exponent (>1), default 1.2
+	ZipfV    float64 // Zipf offset (>=1), default 4
+	Seed     int64
+}
+
+func (c CorpusConfig) withDefaults() CorpusConfig {
+	if c.NumDocs == 0 {
+		c.NumDocs = 200_000
+	}
+	if c.NumItems == 0 {
+		c.NumItems = 500_000
+	}
+	if c.MeanLen == 0 {
+		c.MeanLen = 40
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.2
+	}
+	if c.ZipfV == 0 {
+		c.ZipfV = 4
+	}
+	return c
+}
+
+// NewCorpus generates a corpus. Document lengths are geometric-ish around
+// MeanLen; item draws follow a Zipf law so a few items are extremely
+// frequent and most are rare.
+func NewCorpus(cfg CorpusConfig) *Corpus {
+	cfg = cfg.withDefaults()
+	if cfg.NumDocs <= 0 || cfg.NumItems <= 1 || cfg.MeanLen <= 0 {
+		panic(fmt.Sprintf("datasets: invalid corpus config %+v", cfg))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, cfg.ZipfV, uint64(cfg.NumItems-1))
+
+	postings := make(map[uint32][]uint32)
+	for doc := 0; doc < cfg.NumDocs; doc++ {
+		// Document length: 1 + Poisson-ish spread around MeanLen.
+		length := 1 + rng.Intn(2*cfg.MeanLen)
+		seen := make(map[uint32]struct{}, length)
+		for t := 0; t < length; t++ {
+			item := uint32(zipf.Uint64())
+			if _, dup := seen[item]; dup {
+				continue
+			}
+			seen[item] = struct{}{}
+			postings[item] = append(postings[item], uint32(doc))
+		}
+	}
+	c := &Corpus{
+		NumDocs:  cfg.NumDocs,
+		NumItems: cfg.NumItems,
+		Postings: postings,
+	}
+	// Posting lists are built in ascending doc order already; items sorted
+	// by frequency drive query sampling.
+	c.itemsByFreq = make([]uint32, 0, len(postings))
+	for item := range postings {
+		c.itemsByFreq = append(c.itemsByFreq, item)
+	}
+	sort.Slice(c.itemsByFreq, func(i, j int) bool {
+		li, lj := len(postings[c.itemsByFreq[i]]), len(postings[c.itemsByFreq[j]])
+		if li != lj {
+			return li > lj
+		}
+		return c.itemsByFreq[i] < c.itemsByFreq[j]
+	})
+	return c
+}
+
+// DistinctItems returns how many items occur at least once.
+func (c *Corpus) DistinctItems() int { return len(c.Postings) }
+
+// Posting returns the sorted document list of an item (nil if absent).
+func (c *Corpus) Posting(item uint32) []uint32 { return c.Postings[item] }
+
+// Query is a conjunctive keyword query: the posting lists to intersect.
+type Query struct {
+	Items    []uint32
+	Postings [][]uint32
+}
+
+// SampleQueries draws nq random k-keyword queries whose posting lists each
+// have at least minLen documents and whose pairwise selectivity stays below
+// maxSelectivity, mirroring Section VII-F ("we generate random queries from
+// the dataset and keep the set intersection size below 20% of the input").
+// maxSkew, when positive, additionally bounds how unbalanced the two largest
+// lists may be (used for the skewed variant of Fig. 12).
+func (c *Corpus) SampleQueries(rng *rand.Rand, nq, k, minLen int, maxSelectivity, maxSkew float64) []Query {
+	qs, err := c.TrySampleQueries(rng, nq, k, minLen, maxSelectivity, maxSkew)
+	if err != nil {
+		panic(err)
+	}
+	return qs
+}
+
+// TrySampleQueries is SampleQueries returning an error instead of panicking
+// when the corpus cannot satisfy the constraints (for CLI use on arbitrary
+// loaded datasets).
+func (c *Corpus) TrySampleQueries(rng *rand.Rand, nq, k, minLen int, maxSelectivity, maxSkew float64) ([]Query, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("datasets: queries need at least two keywords, got %d", k)
+	}
+	// Candidate items: frequent enough to be interesting.
+	var candidates []uint32
+	for _, item := range c.itemsByFreq {
+		if len(c.Postings[item]) >= minLen {
+			candidates = append(candidates, item)
+		}
+	}
+	if len(candidates) < k {
+		return nil, fmt.Errorf("datasets: only %d items have >= %d postings", len(candidates), minLen)
+	}
+	queries := make([]Query, 0, nq)
+	attempts := 0
+	for len(queries) < nq && attempts < nq*1000 {
+		attempts++
+		items := make([]uint32, 0, k)
+		seen := map[uint32]bool{}
+		for len(items) < k {
+			it := candidates[rng.Intn(len(candidates))]
+			if !seen[it] {
+				seen[it] = true
+				items = append(items, it)
+			}
+		}
+		lists := make([][]uint32, k)
+		for i, it := range items {
+			lists[i] = c.Postings[it]
+		}
+		sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+		if maxSkew > 0 {
+			skew := float64(len(lists[0])) / float64(len(lists[len(lists)-1]))
+			if skew > maxSkew {
+				continue
+			}
+		}
+		ok := true
+		for i := 0; i < k-1 && ok; i++ {
+			if Selectivity(lists[i], lists[i+1]) > maxSelectivity {
+				ok = false
+			}
+		}
+		if !ok {
+			continue
+		}
+		queries = append(queries, Query{Items: items, Postings: lists})
+	}
+	if len(queries) < nq {
+		return nil, fmt.Errorf("datasets: could only sample %d/%d queries under the constraints", len(queries), nq)
+	}
+	return queries, nil
+}

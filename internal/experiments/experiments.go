@@ -1,0 +1,109 @@
+// Package experiments contains the drivers that regenerate every table and
+// figure of the FESIA paper's evaluation (Section VII). Each driver returns
+// a formatted Table whose rows mirror the series the paper plots; the
+// cmd/fesiabench binary prints them, and the repository-root benchmarks
+// reuse the same workload builders.
+//
+// Absolute numbers are not expected to match the paper (the vector ISA is
+// emulated — see DESIGN.md); the shapes are: which method wins, how speedups
+// move with selectivity, skew, density and core count, and where the
+// FESIAmerge/FESIAhash crossover falls.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string // e.g. "fig7a"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Sink receives benchmark results so the compiler cannot eliminate the
+// measured work.
+var Sink int64
+
+// timeOp measures one call of f in nanoseconds, growing the iteration count
+// until the sample is long enough to be stable.
+func timeOp(f func() int) time.Duration {
+	Sink += int64(f()) // warm-up
+	iters := 1
+	for {
+		start := time.Now()
+		acc := 0
+		for i := 0; i < iters; i++ {
+			acc += f()
+		}
+		elapsed := time.Since(start)
+		Sink += int64(acc)
+		if elapsed >= 20*time.Millisecond || iters >= 1<<22 {
+			return elapsed / time.Duration(iters)
+		}
+		iters *= 2
+	}
+}
+
+// speedup formats t_base / t_method with two decimals.
+func speedup(base, method time.Duration) string {
+	if method <= 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", float64(base)/float64(method))
+}
+
+// ms formats a duration as milliseconds with three decimals.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6)
+}
+
+// us formats a duration as microseconds with two decimals.
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e3)
+}

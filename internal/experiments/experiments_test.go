@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"fesia/internal/datasets"
+	"fesia/internal/simd"
+)
+
+func TestTableString(t *testing.T) {
+	tbl := &Table{
+		ID:     "t",
+		Title:  "demo",
+		Header: []string{"A", "LongHeader"},
+		Rows:   [][]string{{"longvalue", "1"}, {"x", "22"}},
+		Notes:  []string{"a note"},
+	}
+	s := tbl.String()
+	for _, want := range []string{"demo", "LongHeader", "longvalue", "note: a note", "---"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSpeedupFormat(t *testing.T) {
+	if got := speedup(200, 100); got != "2.00" {
+		t.Errorf("speedup = %s", got)
+	}
+	if got := speedup(100, 0); got != "inf" {
+		t.Errorf("speedup(x, 0) = %s", got)
+	}
+	if ms(1500000) != "1.500" {
+		t.Error("ms format")
+	}
+	if us(1500) != "1.50" {
+		t.Error("us format")
+	}
+}
+
+// The driver smoke tests run each experiment at miniature scale and verify
+// table shape; timing values just need to be present and parseable.
+
+func TestKernelSpeedupsDriver(t *testing.T) {
+	tbl := KernelSpeedups(simd.WidthSSE, "fig4")
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tbl.Rows))
+	}
+	if len(tbl.Header) != 8 || len(tbl.Rows[0]) != 8 {
+		t.Fatalf("header/row width wrong: %d/%d", len(tbl.Header), len(tbl.Rows[0]))
+	}
+}
+
+func TestVaryInputSizeDriver(t *testing.T) {
+	tbl := VaryInputSize("fig7a", []int{2000, 4000}, []simd.Width{simd.WidthSSE, simd.WidthAVX})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Scalar + ScalarGalloping + SIMDGalloping + BMiss + Shuffling + 2 FESIA.
+	if len(tbl.Header) != 1+7 {
+		t.Fatalf("header = %v", tbl.Header)
+	}
+}
+
+func TestSelectivitySweepDriver(t *testing.T) {
+	tbl := SelectivitySweep("fig8", 3000, []float64{0, 0.5}, []simd.Width{simd.WidthAVX})
+	if len(tbl.Rows) != 2 || len(tbl.Header) != 1+5 {
+		t.Fatalf("shape: %d rows, header %v", len(tbl.Rows), tbl.Header)
+	}
+}
+
+func TestThreeWayDensityDriver(t *testing.T) {
+	tbl := ThreeWayDensity("fig10", 2000, []float64{0, 0.5}, simd.WidthAVX)
+	if len(tbl.Rows) != 2 || len(tbl.Header) != 1+4 {
+		t.Fatalf("shape: %d rows, header %v", len(tbl.Rows), tbl.Header)
+	}
+}
+
+func TestSkewSweepDriver(t *testing.T) {
+	tbl := SkewSweep("fig11", 4000, []float64{1.0 / 32, 1}, simd.WidthAVX, 0.1)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	found := false
+	for _, h := range tbl.Header {
+		if h == "FESIAhash" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("SkewSweep must report FESIAhash")
+	}
+}
+
+func TestDatabaseQueryTaskDriver(t *testing.T) {
+	tbl, build := DatabaseQueryTask(datasets.CorpusConfig{
+		NumDocs: 4000, NumItems: 2500, MeanLen: 30, Seed: 9,
+	}, 5, simd.WidthAVX)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 scenarios", len(tbl.Rows))
+	}
+	if build <= 0 {
+		t.Error("build time not measured")
+	}
+	labels := []string{"2 sets", "3 sets", "skew=0.1", "skew=0.05"}
+	for i, want := range labels {
+		if tbl.Rows[i][0] != want {
+			t.Errorf("row %d label = %q, want %q", i, tbl.Rows[i][0], want)
+		}
+	}
+}
+
+func TestTriangleCountingTaskDriver(t *testing.T) {
+	tbl := TriangleCountingTask(simd.WidthAVX, 0.02)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 graphs", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[3] == "0" {
+			t.Errorf("graph %s has zero triangles", row[0])
+		}
+	}
+}
+
+func TestBreakdownSweepDriver(t *testing.T) {
+	tbl := BreakdownSweep(5000, []float64{4, 16}, []int{8, 16}, simd.WidthAVX)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestTable2Driver(t *testing.T) {
+	tbl := Table2(20000)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[0][0] != "AVX512" || tbl.Rows[2][0] != "AVX512-stride8" {
+		t.Errorf("row labels: %v", tbl.Rows)
+	}
+}
+
+func TestTable3Driver(t *testing.T) {
+	tbl := Table3(0.02)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 3 graphs + corpus", len(tbl.Rows))
+	}
+	if tbl.Rows[3][0] != "WebDocs-like" {
+		t.Errorf("last row = %v", tbl.Rows[3])
+	}
+}

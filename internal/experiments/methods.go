@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fesia/internal/baselines"
+	"fesia/internal/core"
+	"fesia/internal/simd"
+)
+
+// PairMethod is one intersection method prepared for a specific input pair.
+// Prepare performs any offline work (FESIA set construction, hash table
+// build) and returns a closure that executes one counting intersection —
+// matching the paper's methodology of excluding construction from query
+// time (Section VII-A, "the data structure of our approach is built offline").
+type PairMethod struct {
+	Name    string
+	Prepare func(a, b []uint32) func() int
+}
+
+// ScalarMethod is the baseline all speedups are normalized against.
+func ScalarMethod() PairMethod {
+	return PairMethod{
+		Name: "Scalar",
+		Prepare: func(a, b []uint32) func() int {
+			return func() int { return baselines.CountScalar(a, b) }
+		},
+	}
+}
+
+// BaselineMethods returns the paper's comparison methods at one ISA width:
+// Scalar, ScalarGalloping, SIMDGalloping, BMiss, Shuffling (Section VII-A).
+func BaselineMethods(w simd.Width) []PairMethod {
+	return []PairMethod{
+		ScalarMethod(),
+		{
+			Name: "ScalarGalloping",
+			Prepare: func(a, b []uint32) func() int {
+				return func() int { return baselines.CountScalarGalloping(a, b) }
+			},
+		},
+		{
+			Name: "SIMDGalloping",
+			Prepare: func(a, b []uint32) func() int {
+				return func() int { return baselines.CountSIMDGalloping(w, a, b) }
+			},
+		},
+		{
+			Name: "BMiss",
+			Prepare: func(a, b []uint32) func() int {
+				return func() int { return baselines.CountBMiss(a, b) }
+			},
+		},
+		{
+			Name: "Shuffling",
+			Prepare: func(a, b []uint32) func() int {
+				return func() int { return baselines.CountShuffling(w, a, b) }
+			},
+		},
+	}
+}
+
+// FastMethod returns the Fast [4] bitmap intersection — FESIA's non-SIMD
+// predecessor with the same O(n/√w + r) complexity. The paper lists it in
+// Table I but omits it from the measured figures; it is used here in the
+// ablation benchmarks to isolate the contribution of FESIA's SIMD design
+// (segment transformation + specialized kernels) over the shared
+// bitmap-pruning idea.
+func FastMethod() PairMethod {
+	return PairMethod{
+		Name: "Fast",
+		Prepare: func(a, b []uint32) func() int {
+			fa := baselines.NewFastSet(a)
+			fb := baselines.NewFastSet(b)
+			return func() int { return baselines.CountFast(fa, fb) }
+		},
+	}
+}
+
+// FESIAMethod returns the two-step FESIA intersection (FESIAmerge) at a
+// given configuration; construction happens in Prepare.
+func FESIAMethod(name string, cfg core.Config) PairMethod {
+	return PairMethod{
+		Name: name,
+		Prepare: func(a, b []uint32) func() int {
+			sa := core.MustNewSet(a, cfg)
+			sb := core.MustNewSet(b, cfg)
+			return func() int { return core.CountMerge(sa, sb) }
+		},
+	}
+}
+
+// FESIAHashMethod returns the skewed-input strategy (FESIAhash).
+func FESIAHashMethod(name string, cfg core.Config) PairMethod {
+	return PairMethod{
+		Name: name,
+		Prepare: func(a, b []uint32) func() int {
+			sa := core.MustNewSet(a, cfg)
+			sb := core.MustNewSet(b, cfg)
+			return func() int { return core.CountHash(sa, sb) }
+		},
+	}
+}
+
+// FESIAWidthConfigs returns the named FESIA configurations evaluated in
+// Fig. 7: one per emulated ISA.
+func FESIAWidthConfigs() []struct {
+	Name string
+	Cfg  core.Config
+} {
+	return []struct {
+		Name string
+		Cfg  core.Config
+	}{
+		{"FESIAsse", core.Config{Width: simd.WidthSSE}},
+		{"FESIAavx", core.Config{Width: simd.WidthAVX}},
+		{"FESIAavx512", core.Config{Width: simd.WidthAVX512}},
+	}
+}
+
+// KMethod is a k-way counting method over plain sorted sets.
+type KMethod struct {
+	Name    string
+	Prepare func(sets [][]uint32) func() int
+}
+
+// BaselineKMethods returns the k-way baselines of Fig. 10.
+func BaselineKMethods(w simd.Width) []KMethod {
+	return []KMethod{
+		{
+			Name: "Scalar",
+			Prepare: func(sets [][]uint32) func() int {
+				return func() int { return baselines.CountScalarK(sets) }
+			},
+		},
+		{
+			Name: "ScalarGalloping",
+			Prepare: func(sets [][]uint32) func() int {
+				return func() int { return baselines.CountScalarGallopingK(sets) }
+			},
+		},
+		{
+			Name: "BMiss",
+			Prepare: func(sets [][]uint32) func() int {
+				return func() int { return baselines.CountBMissK(sets) }
+			},
+		},
+		{
+			Name: "Shuffling",
+			Prepare: func(sets [][]uint32) func() int {
+				return func() int { return baselines.CountShufflingK(w, sets) }
+			},
+		},
+	}
+}
+
+// FESIAKMethod returns FESIA's k-way intersection with prebuilt sets.
+func FESIAKMethod(name string, cfg core.Config) KMethod {
+	return KMethod{
+		Name: name,
+		Prepare: func(sets [][]uint32) func() int {
+			built := make([]*core.Set, len(sets))
+			for i, s := range sets {
+				built[i] = core.MustNewSet(s, cfg)
+			}
+			return func() int { return core.CountK(built...) }
+		},
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fesia/internal/baselines"
+	"fesia/internal/core"
+	"fesia/internal/datasets"
+	"fesia/internal/graph"
+	"fesia/internal/invindex"
+	"fesia/internal/simd"
+)
+
+// DatabaseQueryTask reproduces Fig. 12: conjunctive keyword queries over a
+// WebDocs-like corpus, with 2-set and 3-set queries (top panel) and skewed
+// 2-set queries at size ratios 0.1 and 0.05 (bottom panel). Reported values
+// are speedups over the Scalar method, averaged over the query batch.
+func DatabaseQueryTask(corpusCfg datasets.CorpusConfig, nQueries int, w simd.Width) (*Table, time.Duration) {
+	start := time.Now()
+	corpus := datasets.NewCorpus(corpusCfg)
+	ix, err := invindex.FromCorpus(corpus, core.Config{Width: w})
+	if err != nil {
+		panic(err)
+	}
+	buildTime := time.Since(start)
+
+	rng := rand.New(rand.NewSource(12))
+	t := &Table{
+		ID:     "fig12",
+		Title:  "Database query task: speedup over Scalar (WebDocs-like corpus)",
+		Header: []string{"Scenario", "Shuffling", "BMiss", "SIMDGalloping", "FESIA"},
+		Notes: []string{
+			fmt.Sprintf("corpus: %d docs, %d distinct items, index build %.2fs",
+				corpus.NumDocs, corpus.DistinctItems(), buildTime.Seconds()),
+		},
+	}
+
+	scenario := func(label string, queries []datasets.Query) {
+		itemLists := make([][][]uint32, len(queries))
+		itemIDs := make([][]uint32, len(queries))
+		for i, q := range queries {
+			itemLists[i] = q.Postings
+			itemIDs[i] = q.Items
+		}
+		base := timeOp(func() int {
+			n := 0
+			for _, lists := range itemLists {
+				n += baselines.CountScalarK(lists)
+			}
+			return n
+		})
+		shuf := timeOp(func() int {
+			n := 0
+			for _, lists := range itemLists {
+				n += baselines.CountShufflingK(w, lists)
+			}
+			return n
+		})
+		bmiss := timeOp(func() int {
+			n := 0
+			for _, lists := range itemLists {
+				n += baselines.CountBMissK(lists)
+			}
+			return n
+		})
+		gallop := timeOp(func() int {
+			n := 0
+			for _, lists := range itemLists {
+				if len(lists) == 2 {
+					n += baselines.CountSIMDGalloping(w, lists[0], lists[1])
+				} else {
+					n += baselines.CountScalarGallopingK(lists)
+				}
+			}
+			return n
+		})
+		fesiaT := timeOp(func() int {
+			n := 0
+			for _, items := range itemIDs {
+				n += ix.QueryCount(items...)
+			}
+			return n
+		})
+		t.Rows = append(t.Rows, []string{
+			label,
+			speedup(base, shuf),
+			speedup(base, bmiss),
+			speedup(base, gallop),
+			speedup(base, fesiaT),
+		})
+	}
+
+	scenario("2 sets", corpus.SampleQueries(rng, nQueries, 2, 64, 0.2, 0))
+	scenario("3 sets", corpus.SampleQueries(rng, nQueries, 3, 64, 0.2, 0))
+	scenario("skew=0.1", corpus.SampleQueries(rng, nQueries, 2, 32, 0.2, 0.1))
+	scenario("skew=0.05", corpus.SampleQueries(rng, nQueries, 2, 32, 0.2, 0.05))
+	return t, buildTime
+}
+
+// TriangleCountingTask reproduces Fig. 13: triangle counting speedup over
+// the Scalar method on the three standard graphs, including FESIA's
+// multicore scaling at 4 and 8 cores.
+func TriangleCountingTask(w simd.Width, scale float64) *Table {
+	t := &Table{
+		ID:    "fig13",
+		Title: "Triangle counting: speedup over Scalar",
+		Header: []string{"Graph", "Nodes", "Edges", "Triangles",
+			"Shuffling", "FESIA", "FESIA4core", "FESIA8core", "BuildTime"},
+	}
+	for _, sg := range datasets.StandardGraphs() {
+		cfg := sg.Cfg
+		if scale != 1 {
+			cfg.Nodes = int(float64(cfg.Nodes) * scale)
+			if cfg.Nodes < 100 {
+				cfg.Nodes = 100
+			}
+		}
+		g := datasets.NewGraph(cfg)
+		csr := graph.FromEdges(g.Nodes, g.Edges)
+		oriented := csr.Oriented()
+
+		buildStart := time.Now()
+		fg, err := graph.BuildFesia(oriented, core.Config{Width: w})
+		if err != nil {
+			panic(err)
+		}
+		buildTime := time.Since(buildStart)
+
+		var triangles int64
+		base := timeOp(func() int {
+			triangles = graph.CountTriangles(oriented, baselines.CountScalar)
+			return int(triangles)
+		})
+		shuf := timeOp(func() int {
+			return int(graph.CountTriangles(oriented, func(a, b []uint32) int {
+				return baselines.CountShuffling(w, a, b)
+			}))
+		})
+		fesia1 := timeOp(func() int { return int(fg.CountTriangles(1)) })
+		fesia4 := timeOp(func() int { return int(fg.CountTriangles(4)) })
+		fesia8 := timeOp(func() int { return int(fg.CountTriangles(8)) })
+
+		t.Rows = append(t.Rows, []string{
+			sg.Name,
+			fmt.Sprintf("%d", g.Nodes),
+			fmt.Sprintf("%d", g.NumEdges()),
+			fmt.Sprintf("%d", triangles),
+			speedup(base, shuf),
+			speedup(base, fesia1),
+			speedup(base, fesia4),
+			speedup(base, fesia8),
+			fmt.Sprintf("%.3fs", buildTime.Seconds()),
+		})
+	}
+	return t
+}

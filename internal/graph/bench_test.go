@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"testing"
+
+	"fesia/internal/baselines"
+	"fesia/internal/core"
+	"fesia/internal/datasets"
+	"fesia/internal/simd"
+)
+
+var benchSink int64
+
+func benchGraph(b *testing.B) *CSR {
+	b.Helper()
+	g := datasets.NewGraph(datasets.GraphConfig{
+		Nodes: 20_000, EdgesPer: 8, Clustering: 0.5, Seed: 7,
+	})
+	return FromEdges(g.Nodes, g.Edges).Oriented()
+}
+
+func BenchmarkTriangleScalar(b *testing.B) {
+	o := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink += CountTriangles(o, baselines.CountScalar)
+	}
+}
+
+func BenchmarkTriangleShuffling(b *testing.B) {
+	o := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink += CountTriangles(o, func(x, y []uint32) int {
+			return baselines.CountShuffling(simd.WidthAVX, x, y)
+		})
+	}
+}
+
+func BenchmarkTriangleFesia(b *testing.B) {
+	o := benchGraph(b)
+	fg, err := BuildFesia(o, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink += fg.CountTriangles(1)
+	}
+}
+
+func BenchmarkBuildFesiaGraph(b *testing.B) {
+	o := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fg, err := BuildFesia(o, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += int64(fg.sets[0].Len())
+	}
+}
+
+func BenchmarkOrient(b *testing.B) {
+	g := datasets.NewGraph(datasets.GraphConfig{
+		Nodes: 20_000, EdgesPer: 8, Clustering: 0.5, Seed: 7,
+	})
+	csr := FromEdges(g.Nodes, g.Edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink += int64(csr.Oriented().NumDirectedEdges())
+	}
+}

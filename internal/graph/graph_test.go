@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"fesia/internal/baselines"
+	"fesia/internal/core"
+	"fesia/internal/datasets"
+)
+
+// bruteTriangles counts triangles by enumerating all vertex triples over an
+// adjacency map — ground truth for small graphs.
+func bruteTriangles(nodes int, edges [][2]uint32) int64 {
+	adj := make([]map[uint32]bool, nodes)
+	for i := range adj {
+		adj[i] = map[uint32]bool{}
+	}
+	for _, e := range edges {
+		adj[e[0]][e[1]] = true
+		adj[e[1]][e[0]] = true
+	}
+	var n int64
+	for a := 0; a < nodes; a++ {
+		for b := a + 1; b < nodes; b++ {
+			if !adj[a][uint32(b)] {
+				continue
+			}
+			for c := b + 1; c < nodes; c++ {
+				if adj[a][uint32(c)] && adj[b][uint32(c)] {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func TestCSRBasics(t *testing.T) {
+	edges := [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {2, 3}}
+	g := FromEdges(4, edges)
+	if g.NumVertices() != 4 || g.NumDirectedEdges() != 8 {
+		t.Fatalf("vertices=%d directed=%d", g.NumVertices(), g.NumDirectedEdges())
+	}
+	if g.Degree(2) != 3 || g.Degree(3) != 1 {
+		t.Errorf("degrees: %d %d", g.Degree(2), g.Degree(3))
+	}
+	nb := g.Neighbors(2)
+	want := []uint32{0, 1, 3}
+	for i := range want {
+		if nb[i] != want[i] {
+			t.Errorf("Neighbors(2) = %v", nb)
+		}
+	}
+}
+
+func TestFromEdgesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range edge should panic")
+		}
+	}()
+	FromEdges(2, [][2]uint32{{0, 5}})
+}
+
+func TestOrientedProperties(t *testing.T) {
+	g := FromEdges(5, [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}})
+	o := g.Oriented()
+	if o.NumDirectedEdges() != g.NumDirectedEdges()/2 {
+		t.Errorf("oriented edges = %d, want half of %d", o.NumDirectedEdges(), g.NumDirectedEdges())
+	}
+	for v := 0; v < o.n; v++ {
+		nb := o.Neighbors(v)
+		for i, w := range nb {
+			if i > 0 && nb[i-1] >= w {
+				t.Fatalf("oriented neighbors of %d not sorted: %v", v, nb)
+			}
+			// Rank must strictly increase along the edge.
+			dv, dw := g.Degree(v), g.Degree(int(w))
+			if dw < dv || (dw == dv && w <= uint32(v)) {
+				t.Fatalf("edge %d->%d violates rank order", v, w)
+			}
+		}
+	}
+}
+
+func TestTriangleCountKnown(t *testing.T) {
+	// Two triangles sharing edge 1-2, plus a pendant.
+	edges := [][2]uint32{{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 3}, {3, 4}}
+	g := FromEdges(5, edges)
+	o := g.Oriented()
+	if got := CountTriangles(o, baselines.CountScalar); got != 2 {
+		t.Errorf("CountTriangles = %d, want 2", got)
+	}
+	// Complete graph K5 has C(5,3) = 10 triangles.
+	var k5 [][2]uint32
+	for a := uint32(0); a < 5; a++ {
+		for b := a + 1; b < 5; b++ {
+			k5 = append(k5, [2]uint32{a, b})
+		}
+	}
+	o5 := FromEdges(5, k5).Oriented()
+	if got := CountTriangles(o5, baselines.CountScalar); got != 10 {
+		t.Errorf("K5 triangles = %d, want 10", got)
+	}
+}
+
+func TestTriangleCountRandomAllIntersectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		nodes := 20 + rng.Intn(30)
+		var edges [][2]uint32
+		seen := map[[2]uint32]bool{}
+		for i := 0; i < nodes*3; i++ {
+			a := uint32(rng.Intn(nodes))
+			b := uint32(rng.Intn(nodes))
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]uint32{a, b}] {
+				continue
+			}
+			seen[[2]uint32{a, b}] = true
+			edges = append(edges, [2]uint32{a, b})
+		}
+		want := bruteTriangles(nodes, edges)
+		o := FromEdges(nodes, edges).Oriented()
+		if got := CountTriangles(o, baselines.CountScalar); got != want {
+			t.Fatalf("scalar triangles = %d, want %d", got, want)
+		}
+		if got := CountTriangles(o, baselines.CountBMiss); got != want {
+			t.Fatalf("bmiss triangles = %d, want %d", got, want)
+		}
+		if got := CountTrianglesParallel(o, baselines.CountScalar, 4); got != want {
+			t.Fatalf("parallel triangles = %d, want %d", got, want)
+		}
+		fg, err := BuildFesia(o, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fg.CountTriangles(1); got != want {
+			t.Fatalf("FESIA triangles = %d, want %d", got, want)
+		}
+		if got := fg.CountTriangles(4); got != want {
+			t.Fatalf("FESIA parallel triangles = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestTriangleCountGeneratedGraph(t *testing.T) {
+	g := datasets.NewGraph(datasets.GraphConfig{Nodes: 2000, EdgesPer: 4, Clustering: 0.6, Seed: 2})
+	csr := FromEdges(g.Nodes, g.Edges)
+	o := csr.Oriented()
+	want := CountTriangles(o, baselines.CountScalar)
+	if want == 0 {
+		t.Fatal("generated graph should contain triangles")
+	}
+	fg, err := BuildFesia(o, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fg.CountTriangles(1); got != want {
+		t.Errorf("FESIA = %d, scalar = %d", got, want)
+	}
+	if got := fg.CountTriangles(8); got != want {
+		t.Errorf("FESIA 8 workers = %d, scalar = %d", got, want)
+	}
+	if got := CountTrianglesParallel(o, baselines.CountScalar, 8); got != want {
+		t.Errorf("parallel scalar = %d, want %d", got, want)
+	}
+}
+
+func TestBuildFesiaPropagatesError(t *testing.T) {
+	g := FromEdges(3, [][2]uint32{{0, 1}})
+	if _, err := BuildFesia(g.Oriented(), core.Config{SegBits: 3}); err == nil {
+		t.Error("bad config should surface an error")
+	}
+}

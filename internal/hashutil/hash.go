@@ -1,0 +1,68 @@
+// Package hashutil provides the universal hash family FESIA uses to map set
+// elements into bitmap positions (Section III-B).
+//
+// Two properties matter to the data structure:
+//
+//  1. Uniformity: the false-positive analysis in Proposition 1 assumes the
+//     hash distributes elements uniformly over the m bitmap bits, so that
+//     E[false positives] ≈ n(n-1)/2m.
+//  2. Nesting: bitmap sizes are rounded to powers of two, and when two sets
+//     have bitmaps of sizes m1 > m2 (m2 | m1), segment i of the larger set
+//     is compared with segment i mod (m2/s) of the smaller (Section III-C).
+//     That scheme is only correct when the position in a small bitmap is the
+//     low-bit truncation of the position in a large one:
+//     h(x) mod m2 == (h(x) mod m1) mod m2.
+//
+// Both hold when positions are taken as the low log2(m) bits of a single
+// strong 64-bit mix of the element. We use the splitmix64 finalizer, a
+// well-studied mixing permutation with full avalanche, salted by a seed so
+// tests can exercise independent hash functions.
+package hashutil
+
+// Hasher maps 32-bit set elements to 64-bit hash values. Bitmap positions are
+// taken as the low bits of the returned value, so nested power-of-two bitmap
+// sizes stay mutually consistent.
+type Hasher struct {
+	seed uint64
+}
+
+// New returns a Hasher salted with seed. Two Hashers with the same seed are
+// identical; sets that will be intersected against each other must be built
+// with the same seed.
+func New(seed uint64) Hasher { return Hasher{seed: seed} }
+
+// Hash returns the full 64-bit mix of x.
+func (h Hasher) Hash(x uint32) uint64 {
+	z := uint64(x) + h.seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Pos returns the bitmap position of x in a bitmap of m bits. m must be a
+// power of two.
+func (h Hasher) Pos(x uint32, m uint64) uint64 {
+	return h.Hash(x) & (m - 1)
+}
+
+// NextPow2 returns the smallest power of two >= v, with a minimum of 1.
+// It panics if v exceeds 2^63 (no representable power of two).
+func NextPow2(v uint64) uint64 {
+	if v == 0 {
+		return 1
+	}
+	if v > 1<<63 {
+		panic("hashutil: NextPow2 overflow")
+	}
+	v--
+	v |= v >> 1
+	v |= v >> 2
+	v |= v >> 4
+	v |= v >> 8
+	v |= v >> 16
+	v |= v >> 32
+	return v + 1
+}
+
+// IsPow2 reports whether v is a power of two (v > 0).
+func IsPow2(v uint64) bool { return v != 0 && v&(v-1) == 0 }

@@ -1,0 +1,145 @@
+package hashutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := []struct{ in, want uint64 }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8},
+		{63, 64}, {64, 64}, {65, 128},
+		{1 << 20, 1 << 20}, {1<<20 + 1, 1 << 21},
+		{1 << 62, 1 << 62}, {1<<62 + 1, 1 << 63}, {1 << 63, 1 << 63},
+	}
+	for _, c := range cases {
+		if got := NextPow2(c.in); got != c.want {
+			t.Errorf("NextPow2(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNextPow2Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for v > 2^63")
+		}
+	}()
+	NextPow2(1<<63 + 1)
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []uint64{1, 2, 4, 8, 1 << 20, 1 << 63} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false", v)
+		}
+	}
+	for _, v := range []uint64{0, 3, 5, 6, 7, 1<<20 + 1} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true", v)
+		}
+	}
+}
+
+// Property: NextPow2 returns a power of two >= v, and the previous power of
+// two (if any) is < v.
+func TestNextPow2Property(t *testing.T) {
+	f := func(v uint64) bool {
+		v &= 1<<63 - 1 // stay in-range
+		p := NextPow2(v)
+		if !IsPow2(p) || p < v {
+			return false
+		}
+		return p == 1 || p/2 < v || v == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	h1 := New(7)
+	h2 := New(7)
+	h3 := New(8)
+	same, diff := 0, 0
+	for x := uint32(0); x < 1000; x++ {
+		if h1.Hash(x) != h2.Hash(x) {
+			t.Fatalf("same-seed hashers disagree at %d", x)
+		}
+		if h1.Hash(x) == h3.Hash(x) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide on %d/1000 inputs", same)
+	}
+}
+
+// Nesting property (Section III-C): for power-of-two m2 | m1,
+// Pos(x, m2) == Pos(x, m1) mod m2.
+func TestPosNesting(t *testing.T) {
+	h := New(99)
+	f := func(x uint32, e1, e2 uint8) bool {
+		l1 := uint(e1%30) + 1
+		l2 := uint(e2) % (l1 + 1)
+		m1 := uint64(1) << l1
+		m2 := uint64(1) << l2
+		return h.Pos(x, m2) == h.Pos(x, m1)%m2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Uniformity: chi-squared over 256 buckets for sequential keys must be sane.
+// Sequential keys are the adversarial case for weak hashes and the common
+// case for graph vertex IDs.
+func TestHashUniformity(t *testing.T) {
+	const buckets = 256
+	const n = 1 << 16
+	h := New(12345)
+	var counts [buckets]int
+	for x := uint32(0); x < n; x++ {
+		counts[h.Pos(x, buckets)]++
+	}
+	expected := float64(n) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 255 degrees of freedom: mean 255, stddev ~22.6. Allow 6 sigma.
+	if chi2 > 255+6*math.Sqrt(2*255) {
+		t.Errorf("chi-squared = %.1f, too high for uniform hash", chi2)
+	}
+}
+
+// Avalanche sanity: flipping one input bit flips roughly half the output bits.
+func TestHashAvalanche(t *testing.T) {
+	h := New(1)
+	total, flips := 0, 0
+	for x := uint32(0); x < 512; x++ {
+		base := h.Hash(x)
+		for b := uint(0); b < 32; b++ {
+			d := base ^ h.Hash(x^(1<<b))
+			flips += popcount64(d)
+			total += 64
+		}
+	}
+	ratio := float64(flips) / float64(total)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("avalanche ratio = %.3f, want ~0.5", ratio)
+	}
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

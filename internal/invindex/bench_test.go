@@ -1,0 +1,66 @@
+package invindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"fesia/internal/baselines"
+	"fesia/internal/core"
+	"fesia/internal/datasets"
+)
+
+var benchSink int
+
+func benchIndex(b *testing.B) (*datasets.Corpus, *Index, []datasets.Query) {
+	b.Helper()
+	corpus := datasets.NewCorpus(datasets.CorpusConfig{
+		NumDocs: 20_000, NumItems: 40_000, MeanLen: 40, Seed: 5,
+	})
+	ix, err := FromCorpus(corpus, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	return corpus, ix, corpus.SampleQueries(rng, 32, 2, 64, 0.2, 0)
+}
+
+func BenchmarkQueryFesia(b *testing.B) {
+	_, ix, queries := benchIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		benchSink += ix.QueryCount(q.Items...)
+	}
+}
+
+func BenchmarkQueryScalar(b *testing.B) {
+	_, ix, queries := benchIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		benchSink += ix.QueryCountWith(baselines.CountScalarK, q.Items...)
+	}
+}
+
+func BenchmarkQueryMaterialize(b *testing.B) {
+	_, ix, queries := benchIndex(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		benchSink += len(ix.Query(q.Items...))
+	}
+}
+
+func BenchmarkIndexBuild(b *testing.B) {
+	corpus := datasets.NewCorpus(datasets.CorpusConfig{
+		NumDocs: 20_000, NumItems: 40_000, MeanLen: 40, Seed: 5,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := FromCorpus(corpus, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSink += ix.NumItems()
+	}
+}

@@ -1,0 +1,140 @@
+// Package invindex implements the database-query substrate of the FESIA
+// evaluation (Section VII-F): an inverted index mapping items (keywords) to
+// sorted posting lists of document IDs, with conjunctive multi-keyword
+// queries answered by k-way set intersection.
+//
+// The index keeps both plain posting lists (for the baseline methods) and
+// prebuilt FESIA sets per item — the offline construction whose time the
+// paper reports separately from query time.
+package invindex
+
+import (
+	"fmt"
+	"slices"
+
+	"fesia/internal/core"
+	"fesia/internal/datasets"
+)
+
+// Index is an immutable inverted index over a document corpus.
+type Index struct {
+	cfg      core.Config
+	postings map[uint32][]uint32
+	sets     map[uint32]*core.Set
+	numDocs  int
+}
+
+// FromCorpus builds an index (plain lists + FESIA sets) from a corpus. The
+// FESIA sets share arena-backed storage (core.NewSetBatch) for query-time
+// locality.
+func FromCorpus(c *datasets.Corpus, cfg core.Config) (*Index, error) {
+	ix := &Index{
+		cfg:      cfg,
+		postings: make(map[uint32][]uint32, len(c.Postings)),
+		sets:     make(map[uint32]*core.Set, len(c.Postings)),
+		numDocs:  c.NumDocs,
+	}
+	items := make([]uint32, 0, len(c.Postings))
+	lists := make([][]uint32, 0, len(c.Postings))
+	for item, lst := range c.Postings {
+		ix.postings[item] = lst
+		items = append(items, item)
+		lists = append(lists, lst)
+	}
+	sets, err := core.NewSetBatch(lists, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("invindex: building FESIA sets: %w", err)
+	}
+	for i, item := range items {
+		ix.sets[item] = sets[i]
+	}
+	return ix, nil
+}
+
+// NumDocs returns the corpus document count.
+func (ix *Index) NumDocs() int { return ix.numDocs }
+
+// NumItems returns the number of indexed items.
+func (ix *Index) NumItems() int { return len(ix.postings) }
+
+// Posting returns the plain sorted posting list of an item (nil if absent).
+func (ix *Index) Posting(item uint32) []uint32 { return ix.postings[item] }
+
+// Set returns the prebuilt FESIA set of an item (nil if absent).
+func (ix *Index) Set(item uint32) *core.Set { return ix.sets[item] }
+
+// QueryCount answers a conjunctive query with FESIA's k-way intersection,
+// returning the number of documents containing every item. Unknown items
+// yield zero.
+func (ix *Index) QueryCount(items ...uint32) int {
+	sets := make([]*core.Set, len(items))
+	for i, it := range items {
+		s, ok := ix.sets[it]
+		if !ok {
+			return 0
+		}
+		sets[i] = s
+	}
+	switch len(sets) {
+	case 0:
+		return 0
+	case 1:
+		return sets[0].Len()
+	case 2:
+		// Two-keyword queries benefit from the adaptive merge/hash switch.
+		return core.Count(sets[0], sets[1])
+	default:
+		return core.CountK(sets...)
+	}
+}
+
+// Query answers a conjunctive query and returns the matching document IDs
+// in ascending order.
+func (ix *Index) Query(items ...uint32) []uint32 {
+	sets := make([]*core.Set, len(items))
+	minLen := 0
+	for i, it := range items {
+		s, ok := ix.sets[it]
+		if !ok {
+			return nil
+		}
+		sets[i] = s
+		if i == 0 || s.Len() < minLen {
+			minLen = s.Len()
+		}
+	}
+	if len(sets) == 0 {
+		return nil
+	}
+	dst := make([]uint32, minLen)
+	var n int
+	switch len(sets) {
+	case 1:
+		return sets[0].Elements()
+	case 2:
+		n = core.Intersect(dst, sets[0], sets[1])
+	default:
+		n = core.IntersectK(dst, sets...)
+	}
+	out := dst[:n]
+	slices.Sort(out)
+	return out
+}
+
+// QueryCountWith answers the query using an arbitrary k-way counting
+// algorithm over the plain posting lists — the hook the Fig. 12 harness uses
+// to run the baseline methods on identical inputs.
+func (ix *Index) QueryCountWith(algo func(sets [][]uint32) int, items ...uint32) int {
+	lists := make([][]uint32, len(items))
+	for i, it := range items {
+		lst, ok := ix.postings[it]
+		if !ok {
+			return 0
+		}
+		lists[i] = lst
+	}
+	if len(lists) == 0 {
+		return 0
+	}
+	return algo(lists)
+}

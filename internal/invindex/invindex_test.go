@@ -1,0 +1,143 @@
+package invindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"fesia/internal/baselines"
+	"fesia/internal/core"
+	"fesia/internal/datasets"
+)
+
+func testCorpus(t *testing.T) *datasets.Corpus {
+	t.Helper()
+	return datasets.NewCorpus(datasets.CorpusConfig{
+		NumDocs: 3000, NumItems: 2000, MeanLen: 25, Seed: 11,
+	})
+}
+
+func TestFromCorpus(t *testing.T) {
+	c := testCorpus(t)
+	ix, err := FromCorpus(c, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumDocs() != c.NumDocs || ix.NumItems() != c.DistinctItems() {
+		t.Errorf("docs=%d items=%d", ix.NumDocs(), ix.NumItems())
+	}
+	// Every FESIA set matches its plain posting list.
+	checked := 0
+	for item, lst := range c.Postings {
+		if checked >= 50 {
+			break
+		}
+		checked++
+		s := ix.Set(item)
+		if s == nil || s.Len() != len(lst) {
+			t.Fatalf("item %d: set len %v, posting len %d", item, s, len(lst))
+		}
+		got := s.Elements()
+		for i := range lst {
+			if got[i] != lst[i] {
+				t.Fatalf("item %d: set elements differ from posting", item)
+			}
+		}
+	}
+	if _, err := FromCorpus(c, core.Config{SegBits: 5}); err == nil {
+		t.Error("bad config should surface an error")
+	}
+}
+
+func refConjunction(lists [][]uint32) map[uint32]bool {
+	if len(lists) == 0 {
+		return nil
+	}
+	cur := map[uint32]bool{}
+	for _, d := range lists[0] {
+		cur[d] = true
+	}
+	for _, lst := range lists[1:] {
+		next := map[uint32]bool{}
+		for _, d := range lst {
+			if cur[d] {
+				next[d] = true
+			}
+		}
+		cur = next
+	}
+	return cur
+}
+
+func TestQueriesAgainstReference(t *testing.T) {
+	c := testCorpus(t)
+	ix, err := FromCorpus(c, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for _, k := range []int{2, 3, 4} {
+		qs := c.SampleQueries(rng, 10, k, 20, 1.0, 0)
+		for _, q := range qs {
+			lists := make([][]uint32, len(q.Items))
+			for i, it := range q.Items {
+				lists[i] = c.Postings[it]
+			}
+			want := refConjunction(lists)
+			if got := ix.QueryCount(q.Items...); got != len(want) {
+				t.Errorf("QueryCount(k=%d) = %d, want %d", k, got, len(want))
+			}
+			docs := ix.Query(q.Items...)
+			if len(docs) != len(want) {
+				t.Fatalf("Query(k=%d) returned %d docs, want %d", k, len(docs), len(want))
+			}
+			for i, d := range docs {
+				if !want[d] {
+					t.Fatalf("Query returned non-matching doc %d", d)
+				}
+				if i > 0 && docs[i-1] >= d {
+					t.Fatalf("Query output not ascending")
+				}
+			}
+			if got := ix.QueryCountWith(baselines.CountScalarK, q.Items...); got != len(want) {
+				t.Errorf("QueryCountWith(scalar) = %d, want %d", got, len(want))
+			}
+			if got := ix.QueryCountWith(baselines.CountHashK, q.Items...); got != len(want) {
+				t.Errorf("QueryCountWith(hash) = %d, want %d", got, len(want))
+			}
+		}
+	}
+}
+
+func TestQueryEdgeCases(t *testing.T) {
+	c := testCorpus(t)
+	ix, err := FromCorpus(c, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.QueryCount() != 0 {
+		t.Error("empty query should count 0")
+	}
+	if ix.Query() != nil {
+		t.Error("empty query should return nil")
+	}
+	// Unknown item.
+	const missing = ^uint32(0)
+	if ix.QueryCount(missing) != 0 || ix.Query(missing) != nil {
+		t.Error("unknown item should yield nothing")
+	}
+	if ix.QueryCountWith(baselines.CountScalarK, missing) != 0 {
+		t.Error("unknown item via baseline should yield 0")
+	}
+	// Single keyword: whole posting list.
+	var anyItem uint32
+	for item := range c.Postings {
+		anyItem = item
+		break
+	}
+	if ix.QueryCount(anyItem) != len(c.Postings[anyItem]) {
+		t.Error("single-keyword count should be the posting length")
+	}
+	if got := ix.Query(anyItem); len(got) != len(c.Postings[anyItem]) {
+		t.Error("single-keyword query should return the posting list")
+	}
+}

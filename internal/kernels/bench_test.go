@@ -1,0 +1,81 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fesia/internal/simd"
+)
+
+var benchSink int
+
+func benchPairs(sa, sb, count int) (as, bs [][]uint32) {
+	rng := rand.New(rand.NewSource(int64(sa*100 + sb)))
+	as = make([][]uint32, count)
+	bs = make([][]uint32, count)
+	for i := range as {
+		as[i], bs[i] = overlappingPair(rng, sa, sb, min(sa, sb)/2, uint32(8*(sa+sb+2)))
+	}
+	return as, bs
+}
+
+// BenchmarkDispatch measures the full Table.Count path (round, ctrl
+// computation, indirect call, kernel) on the segment-size mix the bitmap
+// filter typically produces.
+func BenchmarkDispatch(b *testing.B) {
+	for _, tbl := range []*Table{TableSSE, TableAVX, TableAVX512, TableAVX512S4} {
+		name := tbl.Width().String()
+		if tbl.Stride() > 1 {
+			name = fmt.Sprintf("%s-s%d", name, tbl.Stride())
+		}
+		as, bs := benchPairs(2, 3, 256)
+		b.Run(name+"/2x3", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink += tbl.Count(as[i%256], bs[i%256])
+			}
+		})
+	}
+}
+
+// BenchmarkKernelSizes covers the three structural kernel shapes.
+func BenchmarkKernelSizes(b *testing.B) {
+	tbl := TableAVX
+	for _, sz := range []struct{ sa, sb int }{{1, 1}, {4, 8}, {4, 15}, {12, 14}} {
+		as, bs := benchPairs(sz.sa, sz.sb, 256)
+		b.Run(fmt.Sprintf("%dx%d", sz.sa, sz.sb), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchSink += tbl.Count(as[i%256], bs[i%256])
+			}
+		})
+	}
+}
+
+func BenchmarkGeneralVsSpecialized2x3(b *testing.B) {
+	as, bs := benchPairs(2, 3, 256)
+	b.Run("general", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink += GeneralCount(simd.WidthAVX, as[i%256], bs[i%256])
+		}
+	})
+	b.Run("specialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchSink += TableAVX.Count(as[i%256], bs[i%256])
+		}
+	})
+}
+
+func BenchmarkGenericFallback(b *testing.B) {
+	as, bs := benchPairs(40, 45, 64)
+	for i := 0; i < b.N; i++ {
+		benchSink += TableAVX.Count(as[i%64], bs[i%64]) // over cap -> generic
+	}
+}
+
+func BenchmarkIntersectMaterialize(b *testing.B) {
+	as, bs := benchPairs(6, 7, 256)
+	dst := make([]uint32, 8)
+	for i := 0; i < b.N; i++ {
+		benchSink += TableAVX.Intersect(dst, as[i%256], bs[i%256])
+	}
+}

@@ -1,0 +1,139 @@
+package kernelgen
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSpecs(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 5 {
+		t.Fatalf("Specs() = %d entries, want 5", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.FileName] {
+			t.Errorf("duplicate output file %s", s.FileName)
+		}
+		seen[s.FileName] = true
+		if s.Cap < 2*s.ISA.V-1 {
+			t.Errorf("%s: cap %d below 2V-1=%d", s.FileName, s.Cap, 2*s.ISA.V-1)
+		}
+	}
+}
+
+// TestGenerateParses ensures every spec generates syntactically valid Go.
+func TestGenerateParses(t *testing.T) {
+	for _, s := range Specs() {
+		src, err := Generate(s)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", s.FileName, err)
+		}
+		fset := token.NewFileSet()
+		if _, err := parser.ParseFile(fset, s.FileName, src, 0); err != nil {
+			t.Errorf("generated %s does not parse: %v", s.FileName, err)
+		}
+	}
+}
+
+// TestGeneratedFilesCurrent verifies the checked-in zz_gen_*.go files match
+// what the generator produces today, so the generator and the library cannot
+// drift apart silently.
+func TestGeneratedFilesCurrent(t *testing.T) {
+	for _, s := range Specs() {
+		want, err := Generate(s)
+		if err != nil {
+			t.Fatalf("Generate(%s): %v", s.FileName, err)
+		}
+		got, err := os.ReadFile(filepath.Join("..", s.FileName))
+		if err != nil {
+			t.Fatalf("reading checked-in %s: %v (run `go run ./cmd/genkernels`)", s.FileName, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s is stale; run `go run ./cmd/genkernels`", s.FileName)
+		}
+	}
+}
+
+// TestStrideSampling checks the sampled size ladders of Section VI.
+func TestStrideSampling(t *testing.T) {
+	g := &gen{isa: AVX512, stride: 4}
+	sizes := g.nominalSizes(Spec{ISA: AVX512, Cap: 31, Stride: 4})
+	want := []int{0, 4, 8, 12, 16, 20, 24, 28, 32}
+	if len(sizes) != len(want) {
+		t.Fatalf("stride-4 sizes = %v", sizes)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("stride-4 sizes = %v, want %v", sizes, want)
+		}
+	}
+	g8 := &gen{isa: AVX512, stride: 8}
+	sizes8 := g8.nominalSizes(Spec{ISA: AVX512, Cap: 31, Stride: 8})
+	if len(sizes8) != 5 || sizes8[4] != 32 {
+		t.Fatalf("stride-8 sizes = %v", sizes8)
+	}
+}
+
+// TestKernelShapeSelection pins the generated kernel shapes against the
+// paper's Section V-C structure: small-by-small kernels are fully unrolled
+// with the smaller set held in locals; small-by-large kernels hoist the
+// locals and stream the larger set (Fig. 3 left, register reuse); 6x6
+// decomposes into 4x4 plus a runtime-selected remainder (Fig. 3 right);
+// swapped sizes delegate to their mirror kernel.
+func TestKernelShapeSelection(t *testing.T) {
+	src, err := Generate(Specs()[0]) // SSE
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(src)
+	k2x3 := extractFunc(t, text, "func cSSE_2x3")
+	if !strings.Contains(k2x3, "a0 := a[0]") || !strings.Contains(k2x3, "eqbit(a0, b[2]) | eqbit(a1, b[2])") {
+		t.Errorf("2x3 should be a fully unrolled all-pairs kernel:\n%s", k2x3)
+	}
+	if strings.Contains(k2x3, "for ") {
+		t.Errorf("2x3 must be straight-line (no loops):\n%s", k2x3)
+	}
+	k2x7 := extractFunc(t, text, "func cSSE_2x7")
+	if !strings.Contains(k2x7, "a1 := a[1]") || !strings.Contains(k2x7, "for _, x := range b") {
+		t.Errorf("2x7 should hoist A's elements and stream B:\n%s", k2x7)
+	}
+	k6x6 := extractFunc(t, text, "func cSSE_6x6")
+	if !strings.Contains(k6x6, "cSSE_4x4(a, b)") ||
+		!strings.Contains(k6x6, "if a[3] <= b[3]") ||
+		!strings.Contains(k6x6, "cSSE_2x6(a[4:], b)") ||
+		!strings.Contains(k6x6, "cSSE_2x6(b[4:], a)") {
+		t.Errorf("6x6 should decompose per Fig. 3 right:\n%s", k6x6)
+	}
+	// Swap aliases delegate with arguments exchanged.
+	k7x2 := extractFunc(t, text, "func cSSE_7x2")
+	if !strings.Contains(k7x2, "cSSE_2x7(b, a)") {
+		t.Errorf("7x2 should delegate to 2x7 swapped:\n%s", k7x2)
+	}
+	// Strided kernels are guard-unrolled over the nominal larger side.
+	s4, err := Generate(Specs()[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	k8x16 := extractFunc(t, string(s4), "func cA512s4_8x16")
+	if !strings.Contains(k8x16, "if nb > 15 {") || !strings.Contains(k8x16, "scanEq(a, b[15])") {
+		t.Errorf("strided 8x16 should guard-unroll 16 nominal positions:\n%s", k8x16)
+	}
+}
+
+func extractFunc(t *testing.T, src, header string) string {
+	t.Helper()
+	i := strings.Index(src, header)
+	if i < 0 {
+		t.Fatalf("missing %q in generated source", header)
+	}
+	j := strings.Index(src[i:], "\n}\n")
+	if j < 0 {
+		t.Fatalf("unterminated %q", header)
+	}
+	return src[i : i+j]
+}

@@ -1,0 +1,103 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"fesia/internal/simd"
+)
+
+// The emulated vector ISA in internal/simd serves as the executable
+// specification of what the paper's kernels compute: broadcast one element,
+// compare it against a register of the other set, OR the masks, movemask,
+// popcount (Fig. 2). The generated scalar-currency kernels must agree with
+// that vector-semantics reference bit for bit. These tests pin that
+// equivalence for every size the vector model expresses directly.
+
+// specCount4 is the Fig. 2 kernel over the Vec4 model: count elements of b
+// (sb ≤ 4) matched by any element of a, via broadcast/compare/OR/movemask.
+func specCount4(a, b []uint32) int {
+	vb := simd.LoadPartial4(b, 0)
+	var acc simd.Vec4
+	for _, x := range a {
+		acc = simd.Or4(acc, simd.CmpEq4(simd.Broadcast4(x), vb))
+	}
+	mask := simd.MoveMask4(acc)
+	if len(b) < 4 {
+		mask &= 1<<uint(len(b)) - 1 // discard pad lanes
+	}
+	return simd.Popcount32(mask)
+}
+
+func specCount8(a, b []uint32) int {
+	vb := simd.LoadPartial8(b, 0)
+	var acc simd.Vec8
+	for _, x := range a {
+		acc = simd.Or8(acc, simd.CmpEq8(simd.Broadcast8(x), vb))
+	}
+	mask := simd.MoveMask8(acc)
+	if len(b) < 8 {
+		mask &= 1<<uint(len(b)) - 1
+	}
+	return simd.Popcount32(mask)
+}
+
+func specCount16(a, b []uint32) int {
+	vb := simd.LoadPartial16(b, 0)
+	var acc simd.Vec16
+	for _, x := range a {
+		acc = simd.Or16(acc, simd.CmpEq16(simd.Broadcast16(x), vb))
+	}
+	mask := simd.MoveMask16(acc)
+	if len(b) < 16 {
+		mask &= 1<<uint(len(b)) - 1
+	}
+	return simd.Popcount32(mask)
+}
+
+// TestKernelsMatchVectorSpec cross-validates every in-register kernel
+// (Sa, Sb ≤ V) against the vector-model reference at its own width.
+func TestKernelsMatchVectorSpec(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	specs := []struct {
+		tbl  *Table
+		spec func(a, b []uint32) int
+	}{
+		{TableSSE, specCount4},
+		{TableAVX, specCount8},
+		{TableAVX512, specCount16},
+	}
+	for _, s := range specs {
+		v := s.tbl.Width().Lanes()
+		for sa := 1; sa <= v; sa++ {
+			for sb := 1; sb <= v; sb++ {
+				for trial := 0; trial < 5; trial++ {
+					a, b := overlappingPair(rng, sa, sb, rng.Intn(min(sa, sb)+1),
+						uint32(4*(sa+sb)+8))
+					want := s.spec(a, b)
+					if got := s.tbl.Count(a, b); got != want {
+						t.Fatalf("%v kernel %dx%d = %d, vector spec = %d\na=%v\nb=%v",
+							s.tbl.Width(), sa, sb, got, want, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGeneralMatchesVectorSpec: the padded general kernel of Figures 4-6
+// must agree with the vector model too (zero can be a real element; the
+// spec's pad-lane masking and the general kernel's padded block comparison
+// must both handle it).
+func TestGeneralMatchesVectorSpec(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 300; trial++ {
+		sa := 1 + rng.Intn(8)
+		sb := 1 + rng.Intn(8)
+		a, b := overlappingPair(rng, sa, sb, rng.Intn(min(sa, sb)+1), 24)
+		want := specCount8(a, b)
+		if got := GeneralCount(simd.WidthAVX, a, b); got != want {
+			t.Fatalf("GeneralCount %dx%d = %d, spec = %d\na=%v\nb=%v", sa, sb, got, want, a, b)
+		}
+	}
+}

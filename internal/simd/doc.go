@@ -1,0 +1,26 @@
+// Package simd provides the data-parallel primitives of the FESIA
+// implementation, in three layers.
+//
+// Word-level bitmap operations (AndWords and friends) carry the
+// bitmap-level filtering step: a 64-bit word AND is genuine data-parallel
+// hardware work in Go, so the coarse-grained pruning phase keeps its real
+// O(m/w) character. Segment transformations (SegmentMask8/16/32) and the
+// scalar bit utilities (Tzcnt, Popcount — wrapping math/bits, standing in
+// for x86 TZCNT/POPCNT) implement the non-zero segment extraction of the
+// paper's Section IV.
+//
+// The vector register types model the ISAs the paper targets:
+//
+//	Vec4  — four 32-bit lanes, models an SSE xmm register
+//	Vec8  — eight 32-bit lanes, models an AVX ymm register
+//	Vec16 — sixteen 32-bit lanes, models an AVX512 zmm register
+//
+// with the paper's operation vocabulary: aligned/partial loads, lane
+// broadcasts, lane-wise equality compares (branchless), bitwise OR/AND, and
+// movemask. Go has no intrinsics, so these ops cost ~V scalar instructions
+// rather than one; production kernels therefore execute the equivalent
+// comparison stream in scalar form (see internal/kernels/kernelgen), and
+// the vector model serves as their executable specification — the kernel
+// test suite cross-validates every in-register kernel against Fig. 2
+// expressed in these ops.
+package simd

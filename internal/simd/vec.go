@@ -1,0 +1,264 @@
+package simd
+
+import "math/bits"
+
+// Width identifies an emulated vector ISA by its register width in bits.
+type Width int
+
+// Supported emulated ISA widths. The names follow the x86 instruction-set
+// families the paper evaluates.
+const (
+	WidthSSE    Width = 128
+	WidthAVX    Width = 256
+	WidthAVX512 Width = 512
+)
+
+// Lanes reports the number of 32-bit lanes in a register of this width
+// (the paper's V = w/Se with Se = 32).
+func (w Width) Lanes() int { return int(w) / 32 }
+
+// Bits reports the register width in bits (the paper's w).
+func (w Width) Bits() int { return int(w) }
+
+// String returns the conventional ISA name for the width.
+func (w Width) String() string {
+	switch w {
+	case WidthSSE:
+		return "SSE"
+	case WidthAVX:
+		return "AVX"
+	case WidthAVX512:
+		return "AVX512"
+	default:
+		return "Width?"
+	}
+}
+
+// Valid reports whether w is one of the supported emulated widths.
+func (w Width) Valid() bool {
+	return w == WidthSSE || w == WidthAVX || w == WidthAVX512
+}
+
+// Vec4 models a 128-bit SSE register holding four 32-bit lanes.
+type Vec4 [4]uint32
+
+// Vec8 models a 256-bit AVX register holding eight 32-bit lanes.
+type Vec8 [8]uint32
+
+// Vec16 models a 512-bit AVX512 register holding sixteen 32-bit lanes.
+type Vec16 [16]uint32
+
+// ---------------------------------------------------------------------------
+// 128-bit (SSE) operations — the _mm_* family from Fig. 2 of the paper.
+// ---------------------------------------------------------------------------
+
+// Load4 loads four consecutive 32-bit elements starting at p[0]
+// (_mm_load_si128). p must have length >= 4.
+func Load4(p []uint32) Vec4 {
+	_ = p[3]
+	return Vec4{p[0], p[1], p[2], p[3]}
+}
+
+// LoadPartial4 loads min(len(p), 4) elements and fills the remaining lanes
+// with the sentinel, which callers choose so it can never compare equal to a
+// set element. It models a masked/bounds-safe tail load.
+func LoadPartial4(p []uint32, sentinel uint32) Vec4 {
+	v := Vec4{sentinel, sentinel, sentinel, sentinel}
+	for i := 0; i < len(p) && i < 4; i++ {
+		v[i] = p[i]
+	}
+	return v
+}
+
+// Broadcast4 replicates x into all four lanes (_mm_set1_epi32).
+func Broadcast4(x uint32) Vec4 { return Vec4{x, x, x, x} }
+
+// eqMask returns all-ones when a == b, else zero, without a branch: for
+// d = a^b != 0, d|-d has its sign bit set, so the arithmetic shift smears it
+// into 0xFFFFFFFF, which the final complement turns into the "not equal"
+// mask.
+func eqMask(a, b uint32) uint32 {
+	d := a ^ b
+	return ^uint32(int32(d|-d) >> 31)
+}
+
+// CmpEq4 compares lanes for equality, producing all-ones lanes on match
+// (_mm_cmpeq_epi32).
+func CmpEq4(a, b Vec4) Vec4 {
+	return Vec4{
+		eqMask(a[0], b[0]), eqMask(a[1], b[1]),
+		eqMask(a[2], b[2]), eqMask(a[3], b[3]),
+	}
+}
+
+// Or4 returns the lane-wise bitwise OR (_mm_or_si128).
+func Or4(a, b Vec4) Vec4 {
+	return Vec4{a[0] | b[0], a[1] | b[1], a[2] | b[2], a[3] | b[3]}
+}
+
+// And4 returns the lane-wise bitwise AND (_mm_and_si128).
+func And4(a, b Vec4) Vec4 {
+	return Vec4{a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] & b[3]}
+}
+
+// MoveMask4 packs the sign bit of each lane into the low four bits of the
+// result (_mm_movemask_ps).
+func MoveMask4(a Vec4) uint32 {
+	return a[0]>>31 | a[1]>>31<<1 | a[2]>>31<<2 | a[3]>>31<<3
+}
+
+// ---------------------------------------------------------------------------
+// 256-bit (AVX) operations.
+// ---------------------------------------------------------------------------
+
+// Load8 loads eight consecutive elements (_mm256_load_si256).
+func Load8(p []uint32) Vec8 {
+	_ = p[7]
+	return Vec8{p[0], p[1], p[2], p[3], p[4], p[5], p[6], p[7]}
+}
+
+// LoadPartial8 loads min(len(p), 8) elements, padding with sentinel.
+func LoadPartial8(p []uint32, sentinel uint32) Vec8 {
+	var v Vec8
+	for i := range v {
+		v[i] = sentinel
+	}
+	for i := 0; i < len(p) && i < 8; i++ {
+		v[i] = p[i]
+	}
+	return v
+}
+
+// Broadcast8 replicates x into all eight lanes (_mm256_set1_epi32).
+func Broadcast8(x uint32) Vec8 {
+	return Vec8{x, x, x, x, x, x, x, x}
+}
+
+// CmpEq8 compares lanes for equality (_mm256_cmpeq_epi32).
+func CmpEq8(a, b Vec8) Vec8 {
+	return Vec8{
+		eqMask(a[0], b[0]), eqMask(a[1], b[1]),
+		eqMask(a[2], b[2]), eqMask(a[3], b[3]),
+		eqMask(a[4], b[4]), eqMask(a[5], b[5]),
+		eqMask(a[6], b[6]), eqMask(a[7], b[7]),
+	}
+}
+
+// Or8 returns the lane-wise OR (_mm256_or_si256).
+func Or8(a, b Vec8) Vec8 {
+	return Vec8{
+		a[0] | b[0], a[1] | b[1], a[2] | b[2], a[3] | b[3],
+		a[4] | b[4], a[5] | b[5], a[6] | b[6], a[7] | b[7],
+	}
+}
+
+// And8 returns the lane-wise AND (_mm256_and_si256).
+func And8(a, b Vec8) Vec8 {
+	return Vec8{
+		a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] & b[3],
+		a[4] & b[4], a[5] & b[5], a[6] & b[6], a[7] & b[7],
+	}
+}
+
+// MoveMask8 packs lane sign bits into the low eight bits (_mm256_movemask_ps).
+func MoveMask8(a Vec8) uint32 {
+	return a[0]>>31 | a[1]>>31<<1 | a[2]>>31<<2 | a[3]>>31<<3 |
+		a[4]>>31<<4 | a[5]>>31<<5 | a[6]>>31<<6 | a[7]>>31<<7
+}
+
+// ---------------------------------------------------------------------------
+// 512-bit (AVX512) operations.
+// ---------------------------------------------------------------------------
+
+// Load16 loads sixteen consecutive elements (_mm512_load_si512).
+func Load16(p []uint32) Vec16 {
+	_ = p[15]
+	var v Vec16
+	copy(v[:], p)
+	return v
+}
+
+// LoadPartial16 loads min(len(p), 16) elements, padding with sentinel. It
+// models the AVX512 masked load used for bounds-safe tails.
+func LoadPartial16(p []uint32, sentinel uint32) Vec16 {
+	var v Vec16
+	for i := range v {
+		v[i] = sentinel
+	}
+	for i := 0; i < len(p) && i < 16; i++ {
+		v[i] = p[i]
+	}
+	return v
+}
+
+// Broadcast16 replicates x into all sixteen lanes (_mm512_set1_epi32).
+func Broadcast16(x uint32) Vec16 {
+	return Vec16{x, x, x, x, x, x, x, x, x, x, x, x, x, x, x, x}
+}
+
+// CmpEq16 compares lanes for equality. The hardware instruction
+// (_mm512_cmpeq_epi32_mask) produces a k-mask directly; we keep the
+// lane-vector form for symmetry and provide MoveMask16 to extract it.
+func CmpEq16(a, b Vec16) Vec16 {
+	return Vec16{
+		eqMask(a[0], b[0]), eqMask(a[1], b[1]),
+		eqMask(a[2], b[2]), eqMask(a[3], b[3]),
+		eqMask(a[4], b[4]), eqMask(a[5], b[5]),
+		eqMask(a[6], b[6]), eqMask(a[7], b[7]),
+		eqMask(a[8], b[8]), eqMask(a[9], b[9]),
+		eqMask(a[10], b[10]), eqMask(a[11], b[11]),
+		eqMask(a[12], b[12]), eqMask(a[13], b[13]),
+		eqMask(a[14], b[14]), eqMask(a[15], b[15]),
+	}
+}
+
+// Or16 returns the lane-wise OR.
+func Or16(a, b Vec16) Vec16 {
+	return Vec16{
+		a[0] | b[0], a[1] | b[1], a[2] | b[2], a[3] | b[3],
+		a[4] | b[4], a[5] | b[5], a[6] | b[6], a[7] | b[7],
+		a[8] | b[8], a[9] | b[9], a[10] | b[10], a[11] | b[11],
+		a[12] | b[12], a[13] | b[13], a[14] | b[14], a[15] | b[15],
+	}
+}
+
+// And16 returns the lane-wise AND.
+func And16(a, b Vec16) Vec16 {
+	return Vec16{
+		a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] & b[3],
+		a[4] & b[4], a[5] & b[5], a[6] & b[6], a[7] & b[7],
+		a[8] & b[8], a[9] & b[9], a[10] & b[10], a[11] & b[11],
+		a[12] & b[12], a[13] & b[13], a[14] & b[14], a[15] & b[15],
+	}
+}
+
+// MoveMask16 packs lane sign bits into the low sixteen bits.
+func MoveMask16(a Vec16) uint32 {
+	return a[0]>>31 | a[1]>>31<<1 | a[2]>>31<<2 | a[3]>>31<<3 |
+		a[4]>>31<<4 | a[5]>>31<<5 | a[6]>>31<<6 | a[7]>>31<<7 |
+		a[8]>>31<<8 | a[9]>>31<<9 | a[10]>>31<<10 | a[11]>>31<<11 |
+		a[12]>>31<<12 | a[13]>>31<<13 | a[14]>>31<<14 | a[15]>>31<<15
+}
+
+// ---------------------------------------------------------------------------
+// Scalar bit utilities (TZCNT / POPCNT / LZCNT stand-ins).
+// ---------------------------------------------------------------------------
+
+// Tzcnt32 returns the number of trailing zero bits in x (x86 TZCNT).
+// Tzcnt32(0) == 32.
+func Tzcnt32(x uint32) int { return bits.TrailingZeros32(x) }
+
+// Tzcnt64 returns the number of trailing zero bits in x. Tzcnt64(0) == 64.
+func Tzcnt64(x uint64) int { return bits.TrailingZeros64(x) }
+
+// Popcount32 returns the number of set bits in x (x86 POPCNT).
+func Popcount32(x uint32) int { return bits.OnesCount32(x) }
+
+// Popcount64 returns the number of set bits in x.
+func Popcount64(x uint64) int { return bits.OnesCount64(x) }
+
+// ClearLowestSet clears the least-significant set bit of x (x86 BLSR).
+func ClearLowestSet(x uint32) uint32 { return x & (x - 1) }
+
+// ClearLowestSet64 clears the least-significant set bit of x.
+func ClearLowestSet64(x uint64) uint64 { return x & (x - 1) }

@@ -1,0 +1,170 @@
+package simd
+
+// Word-level bitmap operations. The bitmap-level intersection of FESIA
+// (Section IV, step 1: "vandps" on w bits at a time) is reproduced here with
+// native 64-bit words. A register of emulated width w covers w/64 words;
+// AndWords processes them in unrolled groups so the inner loop mirrors the
+// vector stride of the chosen ISA.
+
+// AndWords computes dst[i] = a[i] & b[i] for all i and returns the number of
+// non-zero result words. a, b and dst must have equal length.
+func AndWords(dst, a, b []uint64) int {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("simd: AndWords length mismatch")
+	}
+	nonZero := 0
+	i := 0
+	// Unrolled by 8 words (512 bits) — one emulated zmm op per group.
+	for ; i+8 <= len(a); i += 8 {
+		w0 := a[i] & b[i]
+		w1 := a[i+1] & b[i+1]
+		w2 := a[i+2] & b[i+2]
+		w3 := a[i+3] & b[i+3]
+		w4 := a[i+4] & b[i+4]
+		w5 := a[i+5] & b[i+5]
+		w6 := a[i+6] & b[i+6]
+		w7 := a[i+7] & b[i+7]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = w0, w1, w2, w3
+		dst[i+4], dst[i+5], dst[i+6], dst[i+7] = w4, w5, w6, w7
+		if w0|w1|w2|w3|w4|w5|w6|w7 != 0 {
+			nonZero += boolToInt(w0 != 0) + boolToInt(w1 != 0) +
+				boolToInt(w2 != 0) + boolToInt(w3 != 0) +
+				boolToInt(w4 != 0) + boolToInt(w5 != 0) +
+				boolToInt(w6 != 0) + boolToInt(w7 != 0)
+		}
+	}
+	for ; i < len(a); i++ {
+		w := a[i] & b[i]
+		dst[i] = w
+		if w != 0 {
+			nonZero++
+		}
+	}
+	return nonZero
+}
+
+// AndWordsWrap computes dst[i] = a[i] & b[i % len(b)]. It implements the
+// different-bitmap-size rule of Section III-C: when the larger set's bitmap
+// has m1 bits and the smaller has m2 | m1, segment i of the larger set is
+// compared against segment i mod (m2/s) of the smaller, which at word level
+// is a wrapped index. len(b) must divide len(a).
+func AndWordsWrap(dst, a, b []uint64) int {
+	if len(dst) != len(a) {
+		panic("simd: AndWordsWrap length mismatch")
+	}
+	if len(b) == 0 || len(a)%len(b) != 0 {
+		panic("simd: AndWordsWrap requires len(b) to divide len(a)")
+	}
+	nonZero := 0
+	nb := len(b)
+	j := 0
+	for i := range a {
+		w := a[i] & b[j]
+		dst[i] = w
+		if w != 0 {
+			nonZero++
+		}
+		j++
+		if j == nb {
+			j = 0
+		}
+	}
+	return nonZero
+}
+
+// AndWordsK computes the k-way AND dst[i] = maps[0][i] & ... & maps[k-1][i]
+// for bitmaps of identical length, returning the number of non-zero words.
+func AndWordsK(dst []uint64, maps ...[]uint64) int {
+	if len(maps) == 0 {
+		panic("simd: AndWordsK requires at least one bitmap")
+	}
+	for _, m := range maps {
+		if len(m) != len(dst) {
+			panic("simd: AndWordsK length mismatch")
+		}
+	}
+	nonZero := 0
+	for i := range dst {
+		w := maps[0][i]
+		for _, m := range maps[1:] {
+			w &= m[i]
+		}
+		dst[i] = w
+		if w != 0 {
+			nonZero++
+		}
+	}
+	return nonZero
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SegmentMask8 performs the "segment transformation" of Section IV step 2 for
+// 8-bit segments over one 64-bit word: it returns one bit per byte, set iff
+// that byte of w is non-zero — the software analogue of pcmpeqb against zero
+// followed by movemask (inverted). Bit i of the result corresponds to byte i.
+func SegmentMask8(w uint64) uint32 {
+	var m uint32
+	if w&0xff != 0 {
+		m |= 1 << 0
+	}
+	if w&0xff00 != 0 {
+		m |= 1 << 1
+	}
+	if w&0xff0000 != 0 {
+		m |= 1 << 2
+	}
+	if w&0xff000000 != 0 {
+		m |= 1 << 3
+	}
+	if w&0xff00000000 != 0 {
+		m |= 1 << 4
+	}
+	if w&0xff0000000000 != 0 {
+		m |= 1 << 5
+	}
+	if w&0xff000000000000 != 0 {
+		m |= 1 << 6
+	}
+	if w&0xff00000000000000 != 0 {
+		m |= 1 << 7
+	}
+	return m
+}
+
+// SegmentMask16 returns one bit per 16-bit half-word of w, set iff that
+// half-word is non-zero (pcmpeqw analogue). Bit i corresponds to half-word i.
+func SegmentMask16(w uint64) uint32 {
+	var m uint32
+	if w&0xffff != 0 {
+		m |= 1
+	}
+	if w&0xffff0000 != 0 {
+		m |= 2
+	}
+	if w&0xffff00000000 != 0 {
+		m |= 4
+	}
+	if w&0xffff000000000000 != 0 {
+		m |= 8
+	}
+	return m
+}
+
+// SegmentMask32 returns one bit per 32-bit half of w, set iff non-zero
+// (pcmpeqd analogue).
+func SegmentMask32(w uint64) uint32 {
+	var m uint32
+	if w&0xffffffff != 0 {
+		m |= 1
+	}
+	if w>>32 != 0 {
+		m |= 2
+	}
+	return m
+}
