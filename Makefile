@@ -2,9 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench ablation fuzz kernels experiments examples clean
+.PHONY: all build test race cover check bench ablation fuzz kernels experiments examples clean
 
 all: build test
+
+# Full hygiene gate: static checks, formatting drift, and the race suite.
+check:
+	$(GO) vet ./...
+	@fmtout="$$(gofmt -l .)"; \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

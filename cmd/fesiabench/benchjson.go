@@ -1,0 +1,106 @@
+// JSON micro-benchmark mode (-json): measures the query-time fast paths with
+// testing.Benchmark and writes machine-readable results — ns/op, allocs/op,
+// bytes/op per strategy — to BENCH_intersect.json. Each strategy is measured
+// twice: through the one-shot package-level wrappers and through a reused
+// Executor, so the report shows exactly what the allocation-free engine buys.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"fesia/internal/core"
+	"fesia/internal/datasets"
+	"fesia/internal/simd"
+)
+
+// benchResult is one row of BENCH_intersect.json.
+type benchResult struct {
+	Strategy    string  `json:"strategy"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Count       int     `json:"count"` // intersection size, sanity anchor
+}
+
+// benchCase pairs a strategy name with the operation to measure. run returns
+// the intersection count so results can be cross-checked across strategies.
+type benchCase struct {
+	name string
+	run  func() int
+}
+
+func runJSONBench(path string, quick bool) error {
+	n := 200_000
+	if quick {
+		n = 20_000
+	}
+	rng := rand.New(rand.NewSource(1))
+	a, b := datasets.GenPairSelectivity(rng, n, n, 0.1, uint32(16*n))
+	// Skewed pair (1:8) for the hash strategy's natural regime.
+	sk1, sk2 := datasets.GenPairSelectivity(rng, n/8, n, 0.1, uint32(16*n))
+
+	cfg := core.Config{Width: simd.WidthAVX}
+	sa := core.MustNewSet(a, cfg)
+	sb := core.MustNewSet(b, cfg)
+	sc := core.MustNewSet(sk1, cfg)
+	sd := core.MustNewSet(sk2, cfg)
+	se := core.MustNewSet(a[:len(a)/2], cfg)
+
+	ex := core.NewExecutor()
+	dst := make([]uint32, n)
+	workers := min(runtime.GOMAXPROCS(0), 4)
+
+	cases := []benchCase{
+		{"merge/oneshot", func() int { return core.CountMerge(sa, sb) }},
+		{"merge/executor", func() int { return ex.CountMerge(sa, sb) }},
+		{"hash/oneshot", func() int { return core.CountHash(sc, sd) }},
+		{"hash/executor", func() int { return ex.CountHash(sc, sd) }},
+		{"adaptive/oneshot", func() int { return core.Count(sa, sb) }},
+		{"adaptive/executor", func() int { return ex.Count(sa, sb) }},
+		{"intersect/oneshot", func() int { return core.Intersect(dst, sa, sb) }},
+		{"intersect/executor", func() int { return ex.Intersect(dst, sa, sb) }},
+		{"kway3/oneshot", func() int { return core.CountK(sa, sb, se) }},
+		{"kway3/executor", func() int { return ex.CountK(sa, sb, se) }},
+		{"merge-parallel/oneshot", func() int { return core.CountMergeParallel(sa, sb, workers) }},
+		{"merge-parallel/executor", func() int { return ex.CountMergeParallel(sa, sb, workers) }},
+		{"kway3-parallel/oneshot", func() int { return core.CountKParallel(workers, sa, sb, se) }},
+		{"kway3-parallel/executor", func() int { return ex.CountKParallel(workers, sa, sb, se) }},
+	}
+
+	results := make([]benchResult, 0, len(cases))
+	for _, c := range cases {
+		count := c.run() // warm up scratch outside the measurement
+		r := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			for i := 0; i < tb.N; i++ {
+				c.run()
+			}
+		})
+		results = append(results, benchResult{
+			Strategy:    c.name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Count:       count,
+		})
+		fmt.Printf("  %-24s %12.1f ns/op %6d allocs/op %8d B/op\n",
+			c.name, float64(r.T.Nanoseconds())/float64(r.N),
+			r.AllocsPerOp(), r.AllocedBytesPerOp())
+	}
+
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}

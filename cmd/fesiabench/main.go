@@ -6,6 +6,7 @@
 //	fesiabench -all            # every experiment at default scale
 //	fesiabench -exp fig7a      # one experiment
 //	fesiabench -exp fig8 -quick
+//	fesiabench -json           # strategy micro-benchmarks -> BENCH_intersect.json
 //
 // Experiments: fig4 fig5 fig6 fig7a fig7b fig8 fig9 fig10 fig11 fig12 fig13
 // fig14 table2 table3. The -quick flag shrinks inputs about 10x for a fast
@@ -111,10 +112,18 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	quick := flag.Bool("quick", false, "shrink inputs ~10x for a fast run")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	jsonOut := flag.Bool("json", false, "benchmark strategies (one-shot vs Executor) and write BENCH_intersect.json")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(allExperiments, "\n"))
+		return
+	}
+	if *jsonOut {
+		fmt.Printf("fesiabench: strategy micro-benchmarks (quick=%v)\n", *quick)
+		if err := runJSONBench("BENCH_intersect.json", *quick); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	fmt.Printf("fesiabench: %s/%s, %d CPU(s), %s, quick=%v\n\n",

@@ -38,7 +38,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	edgesFile := flag.String("edges", "", "read an edge list file instead of generating")
 	method := flag.String("method", "fesia", "fesia | scalar | shuffling")
-	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker-pool parts (persistent pool, no per-call goroutines)")
 	flag.Parse()
 
 	var nVerts int

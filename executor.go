@@ -1,0 +1,146 @@
+package fesia
+
+import (
+	"slices"
+	"sync"
+
+	"fesia/internal/core"
+)
+
+// Executor is a reusable query-execution context: it owns all scratch state
+// the online intersection phase needs (k-way chain buffers, segment staging,
+// parallel per-worker buffers), so that warm queries perform zero heap
+// allocations. Build sets once offline, then route every online query through
+// an Executor.
+//
+// An Executor is not safe for concurrent use — give each query goroutine its
+// own (they are cheap: buffers grow on demand and are retained). The
+// package-level functions (IntersectCount, Intersect, IntersectK, ...) remain
+// available as compatibility wrappers over an internal pool of executors.
+//
+// Ordering contract: methods suffixed Into/Append and the Visit methods
+// produce results in segment order — ascending within each segment, segments
+// in bitmap order of the driving set — not in ascending value order. This is
+// the natural output order of the two-step algorithm; sorting is deferred to
+// the caller (or skipped entirely, e.g. when feeding an aggregation).
+// Intersect and IntersectK sort before returning, matching the package-level
+// functions.
+type Executor struct {
+	inner *core.Executor
+	sets  []*core.Set // k-way unwrapping scratch
+}
+
+// NewExecutor returns an empty Executor attached to the shared worker pool.
+func NewExecutor() *Executor {
+	return &Executor{inner: core.NewExecutor()}
+}
+
+// unwrap fills the executor's scratch slice with the inner sets.
+func (e *Executor) unwrap(sets []*Set) []*core.Set {
+	e.sets = e.sets[:0]
+	for _, s := range sets {
+		e.sets = append(e.sets, s.inner)
+	}
+	return e.sets
+}
+
+// IntersectCount returns |a ∩ b|, choosing between the two-step merge and
+// the hash-probe strategy by input skew (Section VI). Zero heap allocations.
+func (e *Executor) IntersectCount(a, b *Set) int { return e.inner.Count(a.inner, b.inner) }
+
+// MergeCount forces the two-step FESIAmerge strategy (Algorithm 1).
+func (e *Executor) MergeCount(a, b *Set) int { return e.inner.CountMerge(a.inner, b.inner) }
+
+// HashCount forces the per-element FESIAhash strategy, O(min(n1, n2)).
+func (e *Executor) HashCount(a, b *Set) int { return e.inner.CountHash(a.inner, b.inner) }
+
+// Intersect returns a ∩ b in ascending order. The result slice is freshly
+// allocated for the caller; use IntersectInto or Visit on allocation-free hot
+// paths.
+func (e *Executor) Intersect(a, b *Set) []uint32 {
+	dst := make([]uint32, min(a.Len(), b.Len()))
+	n := e.inner.Intersect(dst, a.inner, b.inner)
+	out := dst[:n]
+	slices.Sort(out)
+	return out
+}
+
+// IntersectInto writes a ∩ b into dst and returns the number of elements
+// written. dst must have room for min(a.Len(), b.Len()) elements. Results are
+// in segment order (see the Executor ordering contract), NOT ascending; sort
+// them if value order matters. This is the allocation-free fast path: a warm
+// executor performs zero heap allocations here.
+func (e *Executor) IntersectInto(dst []uint32, a, b *Set) int {
+	return e.inner.Intersect(dst, a.inner, b.inner)
+}
+
+// IntersectAppend appends a ∩ b to dst and returns the extended slice, in
+// segment order. It allocates only when dst lacks capacity, so an amortized
+// caller loop (dst = dst[:0] between queries) is allocation-free.
+func (e *Executor) IntersectAppend(dst []uint32, a, b *Set) []uint32 {
+	need := min(a.Len(), b.Len())
+	dst = slices.Grow(dst, need)
+	n := e.inner.Intersect(dst[len(dst):len(dst)+need], a.inner, b.inner)
+	return dst[:len(dst)+n]
+}
+
+// Visit streams a ∩ b through fn as matches are found, in segment order,
+// without materializing a result. The only allocation is the caller's fn
+// closure, if any.
+func (e *Executor) Visit(a, b *Set, fn func(uint32)) {
+	e.inner.Visit(a.inner, b.inner, core.Visitor(fn))
+}
+
+// IntersectCountK returns |s1 ∩ ... ∩ sk| with the k-way algorithm of
+// Section VI, O(kn/√w + r). Zero heap allocations when warm.
+func (e *Executor) IntersectCountK(sets ...*Set) int {
+	return e.inner.CountK(e.unwrap(sets)...)
+}
+
+// IntersectK returns the k-way intersection in ascending order (freshly
+// allocated; use IntersectKInto on hot paths).
+func (e *Executor) IntersectK(sets ...*Set) []uint32 {
+	inner := e.unwrap(sets)
+	minLen := inner[0].Len()
+	for _, s := range inner[1:] {
+		minLen = min(minLen, s.Len())
+	}
+	dst := make([]uint32, minLen)
+	n := e.inner.IntersectK(dst, inner...)
+	out := dst[:n]
+	slices.Sort(out)
+	return out
+}
+
+// IntersectKInto writes the k-way intersection into dst and returns the
+// count, in segment order of the largest-bitmap set. dst must have room for
+// the smallest set's length. Zero heap allocations when warm.
+func (e *Executor) IntersectKInto(dst []uint32, sets ...*Set) int {
+	return e.inner.IntersectK(dst, e.unwrap(sets)...)
+}
+
+// VisitK streams the k-way intersection through fn, in segment order of the
+// largest-bitmap set.
+func (e *Executor) VisitK(fn func(uint32), sets ...*Set) {
+	e.inner.VisitK(core.Visitor(fn), e.unwrap(sets)...)
+}
+
+// IntersectCountParallel runs the two-step intersection across `workers`
+// parts of the persistent worker pool (Section VI, multicore). No goroutines
+// are spawned per call.
+func (e *Executor) IntersectCountParallel(a, b *Set, workers int) int {
+	return e.inner.CountMergeParallel(a.inner, b.inner, workers)
+}
+
+// IntersectCountKParallel runs the k-way intersection across `workers` parts
+// of the persistent worker pool.
+func (e *Executor) IntersectCountKParallel(workers int, sets ...*Set) int {
+	return e.inner.CountKParallel(workers, e.unwrap(sets)...)
+}
+
+// executors recycles default executors behind the package-level
+// compatibility wrappers, so even one-shot calls reuse warm scratch state.
+var executors = sync.Pool{New: func() any { return NewExecutor() }}
+
+func getExecutor() *Executor  { return executors.Get().(*Executor) }
+func putExecutor(e *Executor) { executors.Put(e) }

@@ -1,0 +1,120 @@
+// Benchmarks for the allocation-free query engine: each pair compares the
+// one-shot package-level wrapper against a reused Executor on the same
+// inputs, so `go test -bench=Executor -benchmem` shows what holding scratch
+// state across queries buys (the executor rows should report 0 allocs/op).
+package fesia
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func benchExecSets(b *testing.B) (sa, sb, sc *Set) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	sa = MustBuild(execRandElems(rng, 200_000, 1<<22))
+	sb = MustBuild(execRandElems(rng, 200_000, 1<<22))
+	sc = MustBuild(execRandElems(rng, 100_000, 1<<22))
+	return sa, sb, sc
+}
+
+func BenchmarkExecutorCount(b *testing.B) {
+	sa, sb, _ := benchExecSets(b)
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink += IntersectCount(sa, sb)
+		}
+	})
+	b.Run("executor", func(b *testing.B) {
+		e := NewExecutor()
+		e.IntersectCount(sa, sb)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchSink += e.IntersectCount(sa, sb)
+		}
+	})
+}
+
+func BenchmarkExecutorIntersect(b *testing.B) {
+	sa, sb, _ := benchExecSets(b)
+	b.Run("oneshot-sorted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink += len(Intersect(sa, sb))
+		}
+	})
+	b.Run("executor-into", func(b *testing.B) {
+		e := NewExecutor()
+		dst := make([]uint32, min(sa.Len(), sb.Len()))
+		e.IntersectInto(dst, sa, sb)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchSink += e.IntersectInto(dst, sa, sb)
+		}
+	})
+}
+
+func BenchmarkExecutorCountK(b *testing.B) {
+	sa, sb, sc := benchExecSets(b)
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink += IntersectCountK(sa, sb, sc)
+		}
+	})
+	b.Run("executor", func(b *testing.B) {
+		e := NewExecutor()
+		ks := []*Set{sa, sb, sc}
+		e.IntersectCountK(ks...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchSink += e.IntersectCountK(ks...)
+		}
+	})
+}
+
+func BenchmarkExecutorCountParallel(b *testing.B) {
+	sa, sb, _ := benchExecSets(b)
+	workers := min(runtime.GOMAXPROCS(0), 4)
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink += IntersectCountParallel(sa, sb, workers)
+		}
+	})
+	b.Run("executor", func(b *testing.B) {
+		e := NewExecutor()
+		e.IntersectCountParallel(sa, sb, workers)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchSink += e.IntersectCountParallel(sa, sb, workers)
+		}
+	})
+}
+
+func BenchmarkExecutorCountKParallel(b *testing.B) {
+	sa, sb, sc := benchExecSets(b)
+	workers := min(runtime.GOMAXPROCS(0), 4)
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			benchSink += IntersectCountKParallel(workers, sa, sb, sc)
+		}
+	})
+	b.Run("executor", func(b *testing.B) {
+		e := NewExecutor()
+		ks := []*Set{sa, sb, sc}
+		e.IntersectCountKParallel(workers, ks...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchSink += e.IntersectCountKParallel(workers, ks...)
+		}
+	})
+}

@@ -2,7 +2,6 @@ package fesia
 
 import (
 	"io"
-	"slices"
 
 	"fesia/internal/core"
 	"fesia/internal/simd"
@@ -144,15 +143,33 @@ func ReadSet(r io.Reader) (*Set, error) {
 
 // IntersectCount returns |a ∩ b|, choosing between the two-step merge and
 // the hash-probe strategy based on the input size ratio (Section VI).
-func IntersectCount(a, b *Set) int { return core.Count(a.inner, b.inner) }
+// Compatibility wrapper over a pooled default Executor.
+func IntersectCount(a, b *Set) int {
+	e := getExecutor()
+	defer putExecutor(e)
+	return e.IntersectCount(a, b)
+}
 
-// Intersect returns a ∩ b in ascending order.
+// Intersect returns a ∩ b in ascending order, as a fresh slice. Callers that
+// do not need value order (or a fresh slice) should use IntersectInto or an
+// Executor, which skip both the allocation and the sort.
 func Intersect(a, b *Set) []uint32 {
-	dst := make([]uint32, min(a.Len(), b.Len()))
-	n := core.Intersect(dst, a.inner, b.inner)
-	out := dst[:n]
-	slices.Sort(out)
-	return out
+	e := getExecutor()
+	defer putExecutor(e)
+	return e.Intersect(a, b)
+}
+
+// IntersectInto writes a ∩ b into dst and returns the number of elements
+// written, skipping the allocation and sort of Intersect. dst must have room
+// for min(a.Len(), b.Len()) elements. Results are in segment order
+// (ascending within each segment, segments in bitmap order of the
+// larger-bitmap set for the merge strategy, of the smaller set for the hash
+// strategy) — NOT in ascending value order. Compatibility wrapper over a
+// pooled default Executor; warm calls perform zero heap allocations.
+func IntersectInto(dst []uint32, a, b *Set) int {
+	e := getExecutor()
+	defer putExecutor(e)
+	return e.IntersectInto(dst, a, b)
 }
 
 // MergeCount forces the two-step FESIAmerge strategy (Algorithm 1).
@@ -162,35 +179,39 @@ func MergeCount(a, b *Set) int { return core.CountMerge(a.inner, b.inner) }
 func HashCount(a, b *Set) int { return core.CountHash(a.inner, b.inner) }
 
 // IntersectCountK returns |s1 ∩ ... ∩ sk| with the k-way algorithm of
-// Section VI, O(kn/√w + r).
+// Section VI, O(kn/√w + r). Compatibility wrapper over a pooled default
+// Executor.
 func IntersectCountK(sets ...*Set) int {
-	return core.CountK(unwrap(sets)...)
+	e := getExecutor()
+	defer putExecutor(e)
+	return e.IntersectCountK(sets...)
 }
 
 // IntersectK returns the k-way intersection in ascending order.
+// Compatibility wrapper over a pooled default Executor.
 func IntersectK(sets ...*Set) []uint32 {
-	inner := unwrap(sets)
-	minLen := inner[0].Len()
-	for _, s := range inner[1:] {
-		minLen = min(minLen, s.Len())
-	}
-	dst := make([]uint32, minLen)
-	n := core.IntersectK(dst, inner...)
-	out := dst[:n]
-	slices.Sort(out)
-	return out
+	e := getExecutor()
+	defer putExecutor(e)
+	return e.IntersectK(sets...)
 }
 
 // IntersectCountParallel runs the two-step intersection across `workers`
-// goroutines by partitioning the bitmap (Section VI, multicore).
+// parts of the persistent shared worker pool by partitioning the bitmap
+// (Section VI, multicore). Compatibility wrapper over a pooled default
+// Executor.
 func IntersectCountParallel(a, b *Set, workers int) int {
-	return core.CountMergeParallel(a.inner, b.inner, workers)
+	e := getExecutor()
+	defer putExecutor(e)
+	return e.IntersectCountParallel(a, b, workers)
 }
 
-// IntersectCountKParallel runs the k-way intersection across `workers`
-// goroutines.
+// IntersectCountKParallel runs the k-way intersection across `workers` parts
+// of the persistent shared worker pool. Compatibility wrapper over a pooled
+// default Executor.
 func IntersectCountKParallel(workers int, sets ...*Set) int {
-	return core.CountKParallel(workers, unwrap(sets)...)
+	e := getExecutor()
+	defer putExecutor(e)
+	return e.IntersectCountKParallel(workers, sets...)
 }
 
 // Breakdown reports per-step timing of one merge intersection (Fig. 14).
@@ -199,12 +220,4 @@ type Breakdown = core.Breakdown
 // IntersectCountBreakdown runs MergeCount with per-step instrumentation.
 func IntersectCountBreakdown(a, b *Set) Breakdown {
 	return core.CountMergeBreakdown(a.inner, b.inner)
-}
-
-func unwrap(sets []*Set) []*core.Set {
-	inner := make([]*core.Set, len(sets))
-	for i, s := range sets {
-		inner[i] = s.inner
-	}
-	return inner
 }

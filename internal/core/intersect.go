@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sync"
 	"time"
 
 	"fesia/internal/bitmap"
@@ -97,20 +96,17 @@ func forEachSegPairRange(x, y *Set, wordLo, wordHi int, fn func(sx, sy int)) {
 	bitmap.ForEachIntersectingSegmentRange(x.bm, y.bm, wordLo, wordHi, fn)
 }
 
-// CountHash returns |a ∩ b| with the skewed-input strategy of Section VI:
-// every element of the smaller set probes the larger set's bitmap, and only
-// elements whose bit is set are compared against the one segment list the
-// bit selects. Complexity O(min(n1, n2)). This is the paper's FESIAhash.
-func CountHash(a, b *Set) int {
-	compatible(a, b)
-	small, large := a, b
-	if small.n > large.n {
-		small, large = large, small
-	}
+// hashProbeRange is the one hash-probe loop behind CountHash, IntersectHash,
+// VisitHash and CountHashParallel: elements small.reordered[lo:hi] each probe
+// the larger set's bitmap, and only elements whose bit is set are compared
+// against the one segment list the bit selects (Section VI). Every match is
+// counted and, when emit is non-nil, streamed through it. Returns the match
+// count.
+func hashProbeRange(small, large *Set, lo, hi int, emit Visitor) int {
 	n := 0
 	lb := large.bm
 	mBits := lb.Bits()
-	for _, x := range small.reordered {
+	for _, x := range small.reordered[lo:hi] {
 		pos := large.hasher.Pos(x, mBits)
 		if !lb.Test(pos) {
 			continue
@@ -118,6 +114,9 @@ func CountHash(a, b *Set) int {
 		for _, v := range large.segment(lb.SegmentOf(pos)) {
 			if v == x {
 				n++
+				if emit != nil {
+					emit(x)
+				}
 				break
 			}
 			if v > x {
@@ -126,6 +125,17 @@ func CountHash(a, b *Set) int {
 		}
 	}
 	return n
+}
+
+// CountHash returns |a ∩ b| with the skewed-input strategy of Section VI.
+// Complexity O(min(n1, n2)). This is the paper's FESIAhash.
+func CountHash(a, b *Set) int {
+	compatible(a, b)
+	small, large := a, b
+	if small.n > large.n {
+		small, large = large, small
+	}
+	return hashProbeRange(small, large, 0, small.n, nil)
 }
 
 // IntersectHash writes a ∩ b into dst using the skewed-input strategy and
@@ -137,24 +147,10 @@ func IntersectHash(dst []uint32, a, b *Set) int {
 		small, large = large, small
 	}
 	n := 0
-	lb := large.bm
-	mBits := lb.Bits()
-	for _, x := range small.reordered {
-		pos := large.hasher.Pos(x, mBits)
-		if !lb.Test(pos) {
-			continue
-		}
-		for _, v := range large.segment(lb.SegmentOf(pos)) {
-			if v == x {
-				dst[n] = x
-				n++
-				break
-			}
-			if v > x {
-				break
-			}
-		}
-	}
+	hashProbeRange(small, large, 0, small.n, func(x uint32) {
+		dst[n] = x
+		n++
+	})
 	return n
 }
 
@@ -196,326 +192,69 @@ func useHash(a, b *Set) bool {
 // prune segments none of which share a bit; the surviving segments'
 // element lists are then intersected pairwise with the specialized kernels.
 // Expected work is O(kn/√w + r) (Proposition 2).
+//
+// This is a compatibility wrapper over a pooled default Executor; callers on
+// a hot path should hold their own Executor to keep its chain buffers warm.
 func CountK(sets ...*Set) int {
-	return intersectK(nil, sets)
+	e := getExecutor()
+	defer putExecutor(e)
+	return e.CountK(sets...)
 }
 
 // IntersectK writes the k-way intersection into dst and returns the count.
-// dst must have room for the smallest set's length.
+// dst must have room for the smallest set's length. Compatibility wrapper
+// over a pooled default Executor.
 func IntersectK(dst []uint32, sets ...*Set) int {
 	if dst == nil {
 		panic("core: IntersectK requires a destination buffer")
 	}
-	return intersectK(dst, sets)
-}
-
-func intersectK(dst []uint32, sets []*Set) int {
-	switch len(sets) {
-	case 0:
-		panic("core: intersection of zero sets")
-	case 1:
-		if dst != nil {
-			return copy(dst, sets[0].reordered)
-		}
-		return sets[0].n
-	case 2:
-		if dst != nil {
-			return IntersectMerge(dst, sets[0], sets[1])
-		}
-		return CountMerge(sets[0], sets[1])
-	}
-	for _, s := range sets[1:] {
-		compatible(sets[0], s)
-	}
-	// Order by bitmap size descending: the largest drives the word loop and
-	// every smaller bitmap wraps (Section III-C generalized to k maps).
-	ord := append([]*Set(nil), sets...)
-	for i := 1; i < len(ord); i++ {
-		for j := i; j > 0 && ord[j].bm.Bits() > ord[j-1].bm.Bits(); j-- {
-			ord[j], ord[j-1] = ord[j-1], ord[j]
-		}
-	}
-	x := ord[0]
-	rest := ord[1:]
-
-	maxSeg := x.maxSeg
-	for _, s := range rest {
-		maxSeg = max(maxSeg, s.maxSeg)
-	}
-	buf1 := make([]uint32, max(maxSeg, 1))
-	buf2 := make([]uint32, max(maxSeg, 1))
-
-	t := x.table
-	total := 0
-	maps := make([]*bitmap.Bitmap, len(ord))
-	for i, s := range ord {
-		maps[i] = s.bm
-	}
-	bitmap.ForEachIntersectingSegmentK(maps, func(seg int) {
-		cur := x.segment(seg)
-		n := len(cur)
-		out := buf1
-		for _, s := range rest {
-			sseg := s.segment(seg & (s.bm.NumSegments() - 1))
-			n = t.Intersect(out, cur, sseg)
-			if n == 0 {
-				break
-			}
-			cur = out[:n]
-			if &out[0] == &buf1[0] {
-				out = buf2
-			} else {
-				out = buf1
-			}
-		}
-		if n == 0 {
-			return
-		}
-		if dst != nil {
-			copy(dst[total:], cur[:n])
-		}
-		total += n
-	})
-	return total
+	e := getExecutor()
+	defer putExecutor(e)
+	return e.IntersectK(dst, sets...)
 }
 
 // CountKParallel is CountK with the largest bitmap's words partitioned
-// across `workers` goroutines (Section VI's multicore scheme applied to the
-// k-way AND). Each worker chains the pairwise segment intersections with
-// private scratch buffers.
+// across `workers` parts of the persistent shared pool (Section VI's
+// multicore scheme applied to the k-way AND). Compatibility wrapper over a
+// pooled default Executor.
 func CountKParallel(workers int, sets ...*Set) int {
-	switch len(sets) {
-	case 0:
-		panic("core: intersection of zero sets")
-	case 1:
-		return sets[0].n
-	case 2:
-		return CountMergeParallel(sets[0], sets[1], workers)
-	}
-	for _, s := range sets[1:] {
-		compatible(sets[0], s)
-	}
-	ord := append([]*Set(nil), sets...)
-	for i := 1; i < len(ord); i++ {
-		for j := i; j > 0 && ord[j].bm.Bits() > ord[j-1].bm.Bits(); j-- {
-			ord[j], ord[j-1] = ord[j-1], ord[j]
-		}
-	}
-	x := ord[0]
-	rest := ord[1:]
-	maps := make([]*bitmap.Bitmap, len(ord))
-	for i, s := range ord {
-		maps[i] = s.bm
-	}
-	words := len(x.bm.Words())
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > words {
-		workers = words
-	}
-	if workers == 1 {
-		return CountK(sets...)
-	}
-	counts := make([]int, workers)
-	var wg sync.WaitGroup
-	chunk := (words + workers - 1) / workers
-	for wkr := 0; wkr < workers; wkr++ {
-		lo := wkr * chunk
-		hi := min(lo+chunk, words)
-		wg.Add(1)
-		go func(wkr, lo, hi int) {
-			defer wg.Done()
-			counts[wkr] = countKRange(x, rest, maps, lo, hi)
-		}(wkr, lo, hi)
-	}
-	wg.Wait()
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	return total
-}
-
-// countKRange chains pairwise kernel intersections over the surviving
-// segments of words [lo, hi), with its own scratch buffers.
-func countKRange(x *Set, rest []*Set, maps []*bitmap.Bitmap, lo, hi int) int {
-	maxSeg := x.maxSeg
-	for _, s := range rest {
-		maxSeg = max(maxSeg, s.maxSeg)
-	}
-	buf1 := make([]uint32, max(maxSeg, 1))
-	buf2 := make([]uint32, max(maxSeg, 1))
-	t := x.table
-	total := 0
-	bitmap.ForEachIntersectingSegmentKRange(maps, lo, hi, func(seg int) {
-		cur := x.segment(seg)
-		n := len(cur)
-		out := buf1
-		for _, s := range rest {
-			sseg := s.segment(seg & (s.bm.NumSegments() - 1))
-			n = t.Intersect(out, cur, sseg)
-			if n == 0 {
-				break
-			}
-			cur = out[:n]
-			if &out[0] == &buf1[0] {
-				out = buf2
-			} else {
-				out = buf1
-			}
-		}
-		total += n
-	})
-	return total
+	e := getExecutor()
+	defer putExecutor(e)
+	return e.CountKParallel(workers, sets...)
 }
 
 // ---------------------------------------------------------------------------
 // Multicore parallelism (Section VI): the larger bitmap's words are
 // partitioned across workers; segments never straddle words, so workers
-// touch disjoint segment pairs.
+// touch disjoint segment pairs. These compatibility wrappers run on a pooled
+// default Executor, whose persistent worker pool replaces the seed's
+// per-call goroutine spawning.
 // ---------------------------------------------------------------------------
 
-// CountMergeParallel is CountMerge across `workers` goroutines.
+// CountMergeParallel is CountMerge across `workers` parts of the shared pool.
 func CountMergeParallel(a, b *Set, workers int) int {
-	compatible(a, b)
-	x, y := ordered(a, b)
-	words := len(x.bm.Words())
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > words {
-		workers = words
-	}
-	if workers == 1 {
-		return CountMerge(a, b)
-	}
-	counts := make([]int, workers)
-	var wg sync.WaitGroup
-	chunk := (words + workers - 1) / workers
-	for wkr := 0; wkr < workers; wkr++ {
-		lo := wkr * chunk
-		hi := lo + chunk
-		if hi > words {
-			hi = words
-		}
-		wg.Add(1)
-		go func(wkr, lo, hi int) {
-			defer wg.Done()
-			counts[wkr] = countMergeRange(x, y, lo, hi)
-		}(wkr, lo, hi)
-	}
-	wg.Wait()
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	return total
+	e := getExecutor()
+	defer putExecutor(e)
+	return e.CountMergeParallel(a, b, workers)
 }
 
-// IntersectMergeParallel is IntersectMerge across `workers` goroutines.
-// Workers materialize disjoint word ranges into private buffers which are
-// concatenated in range order, so the output matches IntersectMerge.
+// IntersectMergeParallel is IntersectMerge across `workers` parts of the
+// shared pool. Workers materialize disjoint word ranges into private buffers
+// which are concatenated in range order, so the output matches
+// IntersectMerge.
 func IntersectMergeParallel(dst []uint32, a, b *Set, workers int) int {
-	compatible(a, b)
-	x, y := ordered(a, b)
-	words := len(x.bm.Words())
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > words {
-		workers = words
-	}
-	if workers == 1 {
-		return IntersectMerge(dst, a, b)
-	}
-	t := x.table
-	parts := make([][]uint32, workers)
-	var wg sync.WaitGroup
-	chunk := (words + workers - 1) / workers
-	for wkr := 0; wkr < workers; wkr++ {
-		lo := wkr * chunk
-		hi := lo + chunk
-		if hi > words {
-			hi = words
-		}
-		wg.Add(1)
-		go func(wkr, lo, hi int) {
-			defer wg.Done()
-			var buf []uint32
-			scratch := make([]uint32, min(x.maxSeg, y.maxSeg))
-			forEachSegPairRange(x, y, lo, hi, func(sx, sy int) {
-				n := t.Intersect(scratch, x.segment(sx), y.segment(sy))
-				buf = append(buf, scratch[:n]...)
-			})
-			parts[wkr] = buf
-		}(wkr, lo, hi)
-	}
-	wg.Wait()
-	total := 0
-	for _, p := range parts {
-		total += copy(dst[total:], p)
-	}
-	return total
+	e := getExecutor()
+	defer putExecutor(e)
+	return e.IntersectMergeParallel(dst, a, b, workers)
 }
 
 // CountHashParallel applies the skewed-input strategy with the smaller set's
 // elements partitioned across workers (the parallelization Section VI
 // prescribes when input sizes differ dramatically).
 func CountHashParallel(a, b *Set, workers int) int {
-	compatible(a, b)
-	small, large := a, b
-	if small.n > large.n {
-		small, large = large, small
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > small.n {
-		workers = small.n
-	}
-	if workers <= 1 {
-		return CountHash(a, b)
-	}
-	counts := make([]int, workers)
-	var wg sync.WaitGroup
-	chunk := (small.n + workers - 1) / workers
-	lb := large.bm
-	mBits := lb.Bits()
-	for wkr := 0; wkr < workers; wkr++ {
-		lo := wkr * chunk
-		hi := lo + chunk
-		if hi > small.n {
-			hi = small.n
-		}
-		wg.Add(1)
-		go func(wkr, lo, hi int) {
-			defer wg.Done()
-			n := 0
-			for _, x := range small.reordered[lo:hi] {
-				pos := large.hasher.Pos(x, mBits)
-				if !lb.Test(pos) {
-					continue
-				}
-				for _, v := range large.segment(lb.SegmentOf(pos)) {
-					if v == x {
-						n++
-						break
-					}
-					if v > x {
-						break
-					}
-				}
-			}
-			counts[wkr] = n
-		}(wkr, lo, hi)
-	}
-	wg.Wait()
-	total := 0
-	for _, c := range counts {
-		total += c
-	}
-	return total
+	e := getExecutor()
+	defer putExecutor(e)
+	return e.CountHashParallel(a, b, workers)
 }
 
 // DispatchTrace returns the (sizeA, sizeB) segment-size pairs that the

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is a fixed-size set of persistent worker goroutines for the parallel
+// intersection paths (Section VI, multicore). The seed implementation spawned
+// fresh goroutines on every *Parallel call; for an online serving system the
+// query is the cheap repeated step, so the goroutines must be part of the
+// one-time setup. Workers park on a channel receive between queries, which
+// costs nothing while idle.
+//
+// A Pool is safe for concurrent use; independent queries may overlap on the
+// same pool.
+type Pool struct {
+	tasks chan poolTask
+	size  int
+}
+
+type poolTask struct {
+	fn   func(part int)
+	part int
+	wg   *sync.WaitGroup
+}
+
+// NewPool starts a pool of `workers` persistent goroutines (minimum 1).
+// Pools are never torn down: they are created once per process (or test) and
+// their workers park between calls.
+//
+// The task channel is deliberately unbuffered: a successful send means a
+// parked worker has taken the task and will run it. A buffered channel could
+// strand tasks in the buffer while every worker is blocked in a nested Do's
+// wait, which deadlocks; with a rendezvous handoff that state cannot exist.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{tasks: make(chan poolTask), size: workers}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for t := range p.tasks {
+		t.fn(t.part)
+		t.wg.Done()
+	}
+}
+
+// Size returns the number of persistent workers.
+func (p *Pool) Size() int { return p.size }
+
+// Do runs fn(0), fn(1), ..., fn(parts-1) and returns when all calls have
+// completed. Part 0 always runs on the calling goroutine; the rest are handed
+// to parked pool workers. When no worker is free (another query in flight, or
+// a nested Do from inside a part), surplus parts run inline on the caller
+// instead of blocking, so Do can never deadlock.
+func (p *Pool) Do(parts int, fn func(part int)) {
+	if parts <= 1 {
+		if parts == 1 {
+			fn(0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(parts - 1)
+	for i := 1; i < parts; i++ {
+		select {
+		case p.tasks <- poolTask{fn, i, &wg}:
+		default:
+			fn(i)
+			wg.Done()
+		}
+	}
+	fn(0)
+	wg.Wait()
+}
+
+var (
+	sharedPoolOnce sync.Once
+	sharedPool     *Pool
+)
+
+// SharedPool returns the process-wide worker pool, sized to GOMAXPROCS and
+// created on first use. Every parallel intersection path — the *Parallel
+// functions here and the triangle-counting drivers in internal/graph — runs
+// on this pool unless handed a private one.
+func SharedPool() *Pool {
+	sharedPoolOnce.Do(func() {
+		sharedPool = NewPool(runtime.GOMAXPROCS(0))
+	})
+	return sharedPool
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolDoRunsEveryPartOnce(t *testing.T) {
+	p := NewPool(4)
+	for _, parts := range []int{1, 2, 4, 7, 64} {
+		counts := make([]int32, parts)
+		p.Do(parts, func(w int) {
+			atomic.AddInt32(&counts[w], 1)
+		})
+		for w, c := range counts {
+			if c != 1 {
+				t.Fatalf("parts=%d: part %d ran %d times", parts, w, c)
+			}
+		}
+	}
+}
+
+func TestPoolDoMorePartsThanWorkers(t *testing.T) {
+	p := NewPool(2)
+	var total atomic.Int64
+	p.Do(100, func(w int) {
+		total.Add(int64(w))
+	})
+	if got, want := total.Load(), int64(100*99/2); got != want {
+		t.Fatalf("sum of parts = %d, want %d", got, want)
+	}
+}
+
+func TestPoolDoNested(t *testing.T) {
+	// Nested Do must not deadlock even when the inner calls outnumber the
+	// pool's workers: surplus tasks fall back to inline execution.
+	p := NewPool(2)
+	var total atomic.Int64
+	p.Do(4, func(outer int) {
+		p.Do(4, func(inner int) {
+			total.Add(1)
+		})
+	})
+	if got := total.Load(); got != 16 {
+		t.Fatalf("nested Do ran %d inner parts, want 16", got)
+	}
+}
+
+func TestPoolSize(t *testing.T) {
+	if got := NewPool(3).Size(); got != 3 {
+		t.Fatalf("Size() = %d, want 3", got)
+	}
+	if NewPool(0).Size() < 1 {
+		t.Fatal("NewPool(0) must clamp to at least one worker")
+	}
+	if SharedPool() == nil || SharedPool() != SharedPool() {
+		t.Fatal("SharedPool must return one stable pool")
+	}
+}

@@ -12,7 +12,6 @@ package graph
 import (
 	"fmt"
 	"slices"
-	"sync"
 
 	"fesia/internal/core"
 )
@@ -129,9 +128,10 @@ func CountTriangles(oriented *CSR, intersect Intersector) int64 {
 	return total
 }
 
-// CountTrianglesParallel partitions vertices across workers. Triangle
-// counting parallelizes trivially because every directed edge contributes
-// an independent intersection (Section VI, multicore).
+// CountTrianglesParallel partitions vertices across workers of the shared
+// persistent pool (core.SharedPool). Triangle counting parallelizes
+// trivially because every directed edge contributes an independent
+// intersection (Section VI, multicore); no goroutines are spawned per call.
 func CountTrianglesParallel(oriented *CSR, intersect Intersector, workers int) int64 {
 	if workers < 1 {
 		workers = 1
@@ -143,32 +143,26 @@ func CountTrianglesParallel(oriented *CSR, intersect Intersector, workers int) i
 		return CountTriangles(oriented, intersect)
 	}
 	totals := make([]int64, workers)
-	var wg sync.WaitGroup
 	chunk := (oriented.n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	core.SharedPool().Do(workers, func(w int) {
 		lo := w * chunk
 		hi := min(lo+chunk, oriented.n)
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			var local int64
-			for u := lo; u < hi; u++ {
-				nu := oriented.Neighbors(u)
-				if len(nu) == 0 {
+		var local int64
+		for u := lo; u < hi; u++ {
+			nu := oriented.Neighbors(u)
+			if len(nu) == 0 {
+				continue
+			}
+			for _, v := range nu {
+				nv := oriented.Neighbors(int(v))
+				if len(nv) == 0 {
 					continue
 				}
-				for _, v := range nu {
-					nv := oriented.Neighbors(int(v))
-					if len(nv) == 0 {
-						continue
-					}
-					local += int64(intersect(nu, nv))
-				}
+				local += int64(intersect(nu, nv))
 			}
-			totals[w] = local
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		}
+		totals[w] = local
+	})
 	var total int64
 	for _, t := range totals {
 		total += t
@@ -200,7 +194,8 @@ func BuildFesia(oriented *CSR, cfg core.Config) (*FesiaGraph, error) {
 }
 
 // CountTriangles counts triangles with FESIA set intersections across
-// `workers` goroutines (1 = sequential).
+// `workers` parts of the shared persistent pool (1 = sequential on the
+// caller).
 func (fg *FesiaGraph) CountTriangles(workers int) int64 {
 	g := fg.oriented
 	if workers < 1 {
@@ -232,18 +227,12 @@ func (fg *FesiaGraph) CountTriangles(workers int) int64 {
 		return run(0, g.n)
 	}
 	totals := make([]int64, workers)
-	var wg sync.WaitGroup
 	chunk := (g.n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	core.SharedPool().Do(workers, func(w int) {
 		lo := w * chunk
 		hi := min(lo+chunk, g.n)
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			totals[w] = run(lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
+		totals[w] = run(lo, hi)
+	})
 	var total int64
 	for _, t := range totals {
 		total += t

@@ -11,10 +11,16 @@ package invindex
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"fesia/internal/core"
 	"fesia/internal/datasets"
 )
+
+// execPool recycles executors behind the convenience Query/QueryCount
+// methods so one-shot callers still hit warm scratch buffers. Hot loops
+// should hold their own core.Executor and call QueryCountExec.
+var execPool = sync.Pool{New: func() any { return core.NewExecutor() }}
 
 // Index is an immutable inverted index over a document corpus.
 type Index struct {
@@ -65,8 +71,17 @@ func (ix *Index) Set(item uint32) *core.Set { return ix.sets[item] }
 
 // QueryCount answers a conjunctive query with FESIA's k-way intersection,
 // returning the number of documents containing every item. Unknown items
-// yield zero.
+// yield zero. It borrows a pooled executor; hot loops should hold their own
+// and call QueryCountExec.
 func (ix *Index) QueryCount(items ...uint32) int {
+	ex := execPool.Get().(*core.Executor)
+	defer execPool.Put(ex)
+	return ix.QueryCountExec(ex, items...)
+}
+
+// QueryCountExec is QueryCount running on a caller-owned executor, so a
+// query loop reuses warm scratch buffers across calls.
+func (ix *Index) QueryCountExec(ex *core.Executor, items ...uint32) int {
 	sets := make([]*core.Set, len(items))
 	for i, it := range items {
 		s, ok := ix.sets[it]
@@ -82,9 +97,9 @@ func (ix *Index) QueryCount(items ...uint32) int {
 		return sets[0].Len()
 	case 2:
 		// Two-keyword queries benefit from the adaptive merge/hash switch.
-		return core.Count(sets[0], sets[1])
+		return ex.Count(sets[0], sets[1])
 	default:
-		return core.CountK(sets...)
+		return ex.CountK(sets...)
 	}
 }
 
@@ -108,13 +123,15 @@ func (ix *Index) Query(items ...uint32) []uint32 {
 	}
 	dst := make([]uint32, minLen)
 	var n int
+	ex := execPool.Get().(*core.Executor)
+	defer execPool.Put(ex)
 	switch len(sets) {
 	case 1:
 		return sets[0].Elements()
 	case 2:
-		n = core.Intersect(dst, sets[0], sets[1])
+		n = ex.Intersect(dst, sets[0], sets[1])
 	default:
-		n = core.IntersectK(dst, sets...)
+		n = ex.IntersectK(dst, sets...)
 	}
 	out := dst[:n]
 	slices.Sort(out)

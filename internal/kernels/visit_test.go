@@ -1,0 +1,48 @@
+package kernels
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// TestVisitMatchesIntersect checks the streaming entry points against the
+// materializing ones: Table.Visit must emit exactly what Table.Intersect
+// writes, in the same order, across every table (width/stride) including the
+// over-capacity generic fallback.
+func TestVisitMatchesIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, tbl := range Tables() {
+		sizes := []int{0, 1, 2, tbl.Cap() / 2, tbl.Cap(), tbl.Cap() + 5}
+		scratch := make([]uint32, tbl.Cap())
+		for _, sa := range sizes {
+			for _, sb := range sizes {
+				a, b := overlappingPair(rng, sa, sb, min(sa, sb)/2, 1<<10)
+				dst := make([]uint32, min(sa, sb)+1)
+				n := tbl.Intersect(dst, a, b)
+				var got []uint32
+				tbl.Visit(scratch, a, b, func(v uint32) { got = append(got, v) })
+				if !slices.Equal(got, dst[:n]) {
+					t.Fatalf("%s Visit(%dx%d) emitted %v, Intersect wrote %v",
+						tbl.Width(), sa, sb, got, dst[:n])
+				}
+			}
+		}
+	}
+}
+
+// TestGenericVisit checks the streaming scalar merge against GenericIntersect.
+func TestGenericVisit(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		a := randomSortedSet(rng, rng.Intn(100), 1<<9)
+		b := randomSortedSet(rng, rng.Intn(100), 1<<9)
+		want := make([]uint32, min(len(a), len(b)))
+		n := GenericIntersect(want, a, b)
+		var got []uint32
+		GenericVisit(a, b, func(v uint32) { got = append(got, v) })
+		if !slices.Equal(got, want[:n]) {
+			t.Fatalf("trial %d: GenericVisit emitted %v, want %v", trial, got, want[:n])
+		}
+	}
+}
