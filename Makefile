@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover check bench ablation fuzz kernels experiments examples clean
+.PHONY: all build test race cover check bench benchcheck batchbench ablation fuzz kernels experiments examples clean
 
 all: build test
 
@@ -33,6 +33,17 @@ cover:
 # benches (the deliverable artifact: bench_output.txt).
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Benchmark regression gate: re-measure the strategy micro-benchmarks and
+# fail if any ns/op regressed >15% against the committed baseline. Regenerate
+# the baseline after intentional performance changes with:
+#   $(GO) run ./cmd/fesiabench -json -quick && cp BENCH_intersect.json BENCH_baseline.json
+benchcheck:
+	$(GO) run ./cmd/fesiabench -json -quick -baseline BENCH_baseline.json
+
+# One-vs-many batch engine vs pairwise loop (writes BENCH_batch.json).
+batchbench:
+	$(GO) run ./cmd/fesiabench -batchjson
 
 ablation:
 	$(GO) test -bench=Ablation -benchmem .

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"fesia/internal/core"
@@ -34,7 +35,7 @@ type benchCase struct {
 	run  func() int
 }
 
-func runJSONBench(path string, quick bool) error {
+func runJSONBench(path string, quick bool) ([]benchResult, error) {
 	n := 200_000
 	if quick {
 		n = 20_000
@@ -93,6 +94,11 @@ func runJSONBench(path string, quick bool) error {
 			r.AllocsPerOp(), r.AllocedBytesPerOp())
 	}
 
+	return results, writeResults(path, results)
+}
+
+// writeResults marshals benchmark rows to a JSON artifact.
+func writeResults(path string, results []benchResult) error {
 	out, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err
@@ -102,5 +108,52 @@ func runJSONBench(path string, quick bool) error {
 		return err
 	}
 	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}
+
+// regressionTolerance is how much slower (ns/op) a strategy may measure
+// against the committed baseline before checkBaseline fails. Shared-machine
+// benchmarks are noisy; the gate is meant to catch structural regressions,
+// not scheduling jitter.
+const regressionTolerance = 0.15
+
+// checkBaseline compares measured rows against a committed baseline file and
+// returns an error listing every strategy whose ns/op regressed by more than
+// regressionTolerance. Strategies absent from the baseline (new benchmarks)
+// are reported informationally and do not fail the check.
+func checkBaseline(results []benchResult, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base []benchResult
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	byName := make(map[string]benchResult, len(base))
+	for _, b := range base {
+		byName[b.Strategy] = b
+	}
+	var failures []string
+	for _, r := range results {
+		b, ok := byName[r.Strategy]
+		if !ok {
+			fmt.Printf("  %-28s (not in baseline, skipped)\n", r.Strategy)
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		status := "ok"
+		if ratio > 1+regressionTolerance {
+			status = "REGRESSION"
+			failures = append(failures,
+				fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.0f%% slower)",
+					r.Strategy, r.NsPerOp, b.NsPerOp, (ratio-1)*100))
+		}
+		fmt.Printf("  %-28s %6.2fx baseline  %s\n", r.Strategy, ratio, status)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed >%d%%:\n  %s",
+			len(failures), int(regressionTolerance*100), strings.Join(failures, "\n  "))
+	}
 	return nil
 }

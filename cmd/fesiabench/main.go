@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -113,16 +114,59 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink inputs ~10x for a fast run")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonOut := flag.Bool("json", false, "benchmark strategies (one-shot vs Executor) and write BENCH_intersect.json")
+	batchJSON := flag.Bool("batchjson", false, "benchmark the one-vs-many batch engine and write BENCH_batch.json")
+	baseline := flag.String("baseline", "", "with -json/-batchjson: fail on >15% ns/op regression vs this baseline file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	if *list {
 		fmt.Println(strings.Join(allExperiments, "\n"))
 		return
 	}
-	if *jsonOut {
-		fmt.Printf("fesiabench: strategy micro-benchmarks (quick=%v)\n", *quick)
-		if err := runJSONBench("BENCH_intersect.json", *quick); err != nil {
+	if *jsonOut || *batchJSON {
+		var results []benchResult
+		var err error
+		if *jsonOut {
+			fmt.Printf("fesiabench: strategy micro-benchmarks (quick=%v)\n", *quick)
+			results, err = runJSONBench("BENCH_intersect.json", *quick)
+		} else {
+			fmt.Printf("fesiabench: one-vs-many batch benchmarks (quick=%v)\n", *quick)
+			results, err = runBatchBench("BENCH_batch.json", *quick)
+		}
+		if err != nil {
 			log.Fatal(err)
+		}
+		if *baseline != "" {
+			fmt.Printf("\nchecking against baseline %s:\n", *baseline)
+			if err := checkBaseline(results, *baseline); err != nil {
+				log.Fatal(err)
+			}
 		}
 		return
 	}

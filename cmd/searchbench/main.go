@@ -18,6 +18,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"slices"
 	"time"
 
 	"fesia/internal/baselines"
@@ -172,4 +173,62 @@ func main() {
 			float64(best.Microseconds())/float64(len(queries)),
 			float64(scalarTime)/float64(best), total)
 	}
+
+	oneVsMany(ix, corpus, rng)
+}
+
+// oneVsMany runs the batch one-vs-many scenario of Section VII-F: one base
+// keyword intersected against every other sampled keyword, comparing a
+// pairwise query loop with the batch engine (Index.QueryManyCountExec).
+func oneVsMany(ix *invindex.Index, corpus *datasets.Corpus, rng *rand.Rand) {
+	// Base = the most frequent item; candidates = a sample of the rest.
+	var base uint32
+	baseLen := -1
+	items := make([]uint32, 0, len(corpus.Postings))
+	for item, lst := range corpus.Postings {
+		items = append(items, item)
+		if len(lst) > baseLen {
+			base, baseLen = item, len(lst)
+		}
+	}
+	if len(items) < 2 {
+		return
+	}
+	slices.Sort(items) // map order is random; keep runs reproducible
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	others := make([]uint32, 0, min(len(items)-1, 4096))
+	for _, it := range items {
+		if it != base && len(others) < cap(others) {
+			others = append(others, it)
+		}
+	}
+
+	ex := core.NewExecutor()
+	pairwise := make([]int, len(others))
+	batch := make([]int, len(others))
+	bestPair, bestBatch := time.Duration(1<<62), time.Duration(1<<62)
+	for round := 0; round < 5; round++ {
+		t0 := time.Now()
+		for i, o := range others {
+			pairwise[i] = ix.QueryCountExec(ex, base, o)
+		}
+		if d := time.Since(t0); d < bestPair {
+			bestPair = d
+		}
+		t0 = time.Now()
+		ix.QueryManyCountExec(ex, batch, base, others)
+		if d := time.Since(t0); d < bestBatch {
+			bestBatch = d
+		}
+	}
+	for i := range others {
+		if pairwise[i] != batch[i] {
+			log.Fatalf("one-vs-many disagrees at item %d: batch %d, pairwise %d",
+				others[i], batch[i], pairwise[i])
+		}
+	}
+	fmt.Printf("\none keyword (|posting|=%d) vs %d others:\n", baseLen, len(others))
+	fmt.Printf("  %-10s %8.2fms\n", "pairwise", float64(bestPair.Microseconds())/1000)
+	fmt.Printf("  %-10s %8.2fms  speedup %.2fx\n", "batch",
+		float64(bestBatch.Microseconds())/1000, float64(bestPair)/float64(bestBatch))
 }

@@ -125,6 +125,39 @@ func (e *Executor) VisitK(fn func(uint32), sets ...*Set) {
 	e.inner.VisitK(core.Visitor(fn), e.unwrap(sets)...)
 }
 
+// IntersectCountMany fills out[i] with |q ∩ candidates[i]| for every
+// candidate — the one-vs-many batch engine. Per-candidate results match a
+// loop of IntersectCount (including the adaptive strategy switch), but the
+// query's bitmap words, memoized hash positions and dispatch scratch stay
+// hot across the whole candidate list. out must have at least
+// len(candidates) entries. Zero heap allocations once warm.
+func (e *Executor) IntersectCountMany(q *Set, candidates []*Set, out []int) {
+	e.inner.CountMany(q.inner, e.unwrap(candidates), out)
+}
+
+// IntersectManyInto writes q ∩ candidates[i] for every candidate into dst
+// back to back, in segment order per candidate (see the ordering contract),
+// recording each candidate's count in counts[i] and returning the total
+// written. dst must have room for the sum over candidates of
+// min(q.Len(), candidate.Len()). Zero heap allocations once warm.
+func (e *Executor) IntersectManyInto(dst []uint32, counts []int, q *Set, candidates []*Set) int {
+	return e.inner.IntersectManyInto(dst, counts, q.inner, e.unwrap(candidates))
+}
+
+// VisitMany streams every q ∩ candidates[i] through fn as (candidate index,
+// element) pairs without materializing results, in the order
+// IntersectManyInto would write them.
+func (e *Executor) VisitMany(q *Set, candidates []*Set, fn func(candidate int, v uint32)) {
+	e.inner.VisitMany(q.inner, e.unwrap(candidates), fn)
+}
+
+// IntersectCountManyParallel is IntersectCountMany with the candidate list
+// partitioned across `workers` parts of the persistent worker pool,
+// scheduled in descending candidate size order for balance.
+func (e *Executor) IntersectCountManyParallel(q *Set, candidates []*Set, out []int, workers int) {
+	e.inner.CountManyParallel(q.inner, e.unwrap(candidates), out, workers)
+}
+
 // IntersectCountParallel runs the two-step intersection across `workers`
 // parts of the persistent worker pool (Section VI, multicore). No goroutines
 // are spawned per call.

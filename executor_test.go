@@ -172,3 +172,52 @@ func TestPublicExecutorAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicManyParity pins the one-vs-many batch methods to pairwise loops
+// over the corresponding two-way methods.
+func TestPublicManyParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	q := MustBuild(execRandElems(rng, 3000, 1<<15))
+	lists := make([][]uint32, 24)
+	for i := range lists {
+		lists[i] = execRandElems(rng, 1+rng.Intn(6000), 1<<15)
+	}
+	cands, err := BuildBatch(lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewExecutor()
+
+	out := make([]int, len(cands))
+	e.IntersectCountMany(q, cands, out)
+	bound := 0
+	for i, c := range cands {
+		if want := e.IntersectCount(q, c); out[i] != want {
+			t.Fatalf("candidate %d: IntersectCountMany %d, want %d", i, out[i], want)
+		}
+		bound += min(q.Len(), c.Len())
+	}
+
+	outP := make([]int, len(cands))
+	e.IntersectCountManyParallel(q, cands, outP, 3)
+	if !slices.Equal(out, outP) {
+		t.Fatalf("parallel counts %v, sequential %v", outP, out)
+	}
+
+	dst := make([]uint32, bound)
+	counts := make([]int, len(cands))
+	total := e.IntersectManyInto(dst, counts, q, cands)
+	if !slices.Equal(counts, out) {
+		t.Fatalf("IntersectManyInto counts %v, want %v", counts, out)
+	}
+
+	visited := make([]int, len(cands))
+	sum := 0
+	e.VisitMany(q, cands, func(cand int, v uint32) {
+		visited[cand]++
+		sum++
+	})
+	if !slices.Equal(visited, out) || sum != total {
+		t.Fatalf("VisitMany counts %v (sum %d), want %v (total %d)", visited, sum, out, total)
+	}
+}

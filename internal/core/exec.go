@@ -33,16 +33,26 @@ type Executor struct {
 	maps    []*bitmap.Bitmap
 	workers []execWorker
 	pool    *Pool
+
+	staged     []stagedSeg // staged two-pass dispatch records (batch paths)
+	sched      []int32     // candidate scheduling order (CountManyParallel)
+	probeStage []probeRec  // staged hash probe: survivor records
+	qcache     probeCache  // query hash positions, memoized per bitmap size
+	touchSink  uint32      // accumulates read-ahead touches so they are not DCE'd
 }
 
 // execWorker is one worker's private state inside an Executor's parallel
 // methods. Buffers persist across queries so a warm executor's parallel paths
 // stop allocating once every worker has seen its largest range.
 type execWorker struct {
-	count  int
-	buf    []uint32 // materialization buffer (IntersectMergeParallel)
-	chain1 []uint32 // k-way chain scratch
-	chain2 []uint32
+	count      int
+	buf        []uint32 // materialization buffer (IntersectMergeParallel)
+	chain1     []uint32 // k-way chain scratch
+	chain2     []uint32
+	staged     []stagedSeg // per-worker staged dispatch records (CountManyParallel)
+	probeStage []probeRec  // per-worker staged probe buffer
+	qcache     probeCache  // per-worker query position cache
+	touch      uint32      // per-worker read-ahead sink
 }
 
 // NewExecutor returns an Executor attached to the shared worker pool.

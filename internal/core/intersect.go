@@ -102,16 +102,36 @@ func forEachSegPairRange(x, y *Set, wordLo, wordHi int, fn func(sx, sy int)) {
 // against the one segment list the bit selects (Section VI). Every match is
 // counted and, when emit is non-nil, streamed through it. Returns the match
 // count.
+// All per-probe invariants are hoisted out of the loop: the bitmap word
+// slice, the hasher, and — crucially — the segment divide, which becomes a
+// shift by the precomputed log2(segBits) instead of Bitmap.SegmentOf's
+// division by a variable. The segment slice assembly is additionally cached
+// behind a last-segment check: consecutive probes frequently land in the
+// same segment — notably when the two bitmaps are the same size, so that
+// the smaller set's segment-ordered reordered array maps runs of elements
+// onto one segment of the larger set — and skewed inputs concentrate probes
+// on the dense segments.
 func hashProbeRange(small, large *Set, lo, hi int, emit Visitor) int {
 	n := 0
 	lb := large.bm
 	mBits := lb.Bits()
+	words := lb.Words()
+	segShift := uint(simd.Tzcnt32(uint32(lb.SegBits()))) // log2(segBits)
+	offs := large.offsets
+	reord := large.reordered
+	hasher := large.hasher
+	lastSeg := -1
+	var segList []uint32
 	for _, x := range small.reordered[lo:hi] {
-		pos := large.hasher.Pos(x, mBits)
-		if !lb.Test(pos) {
+		pos := hasher.Pos(x, mBits)
+		if words[pos>>6]&(1<<(pos&63)) == 0 {
 			continue
 		}
-		for _, v := range large.segment(lb.SegmentOf(pos)) {
+		if seg := int(pos) >> segShift; seg != lastSeg {
+			lastSeg = seg
+			segList = reord[offs[seg]:offs[seg+1]]
+		}
+		for _, v := range segList {
 			if v == x {
 				n++
 				if emit != nil {
@@ -259,11 +279,13 @@ func CountHashParallel(a, b *Set, workers int) int {
 
 // DispatchTrace returns the (sizeA, sizeB) segment-size pairs that the
 // two-step intersection would dispatch to kernels, in dispatch order. The
-// instruction-cache simulation behind Table II replays this trace.
+// instruction-cache simulation behind Table II replays this trace. The trace
+// is sized exactly by a bitmap pre-pass, so the only allocation is the
+// returned slice itself.
 func DispatchTrace(a, b *Set) [][2]int {
 	compatible(a, b)
 	x, y := ordered(a, b)
-	var trace [][2]int
+	trace := make([][2]int, 0, bitmap.CountIntersectingSegments(x.bm, y.bm))
 	forEachSegPair(x, y, func(sx, sy int) {
 		trace = append(trace, [2]int{len(x.segment(sx)), len(y.segment(sy))})
 	})
@@ -282,33 +304,38 @@ type Breakdown struct {
 	Count       int           // final intersection size
 }
 
-// CountMergeBreakdown is CountMerge with per-step timing. The segment pair
-// list is materialized between the steps so each can be timed in isolation;
-// the combined result is identical to CountMerge.
-func CountMergeBreakdown(a, b *Set) Breakdown {
+// CountMergeBreakdown is CountMerge with per-step timing, running on the
+// executor's staged-dispatch scratch: pass 1 (bitmap AND + segment index
+// extraction) stages the surviving pairs, pass 2 dispatches the kernels, and
+// each pass is timed in isolation. The staging buffer is retained across
+// calls, so repeated Fig. 14 breakdown sweeps are allocation-free once warm.
+// The combined result is identical to CountMerge.
+func (e *Executor) CountMergeBreakdown(a, b *Set) Breakdown {
 	compatible(a, b)
 	x, y := ordered(a, b)
-	t := x.table
 
 	start := time.Now()
-	type pair struct{ sx, sy int32 }
-	pairs := make([]pair, 0, 1024)
-	forEachSegPair(x, y, func(sx, sy int) {
-		pairs = append(pairs, pair{int32(sx), int32(sy)})
-	})
+	recs := stageSegPairs(x, y, e.staged[:0])
+	e.staged = recs
 	bitmapTime := time.Since(start)
 
 	start = time.Now()
-	n := 0
-	for _, p := range pairs {
-		n += t.Count(x.segment(int(p.sx)), y.segment(int(p.sy)))
-	}
+	n, touch := dispatchStagedCount(&x.disp, x.reordered, y.reordered, recs)
 	segTime := time.Since(start)
+	e.touchSink += touch
 
 	return Breakdown{
 		BitmapTime:  bitmapTime,
 		SegmentTime: segTime,
-		SegPairs:    len(pairs),
+		SegPairs:    len(recs),
 		Count:       n,
 	}
+}
+
+// CountMergeBreakdown is the pooled-executor compatibility wrapper; hot
+// breakdown sweeps should hold an Executor to keep its staging buffer warm.
+func CountMergeBreakdown(a, b *Set) Breakdown {
+	e := getExecutor()
+	defer putExecutor(e)
+	return e.CountMergeBreakdown(a, b)
 }

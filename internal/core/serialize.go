@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 
+	"fesia/internal/bitmap"
 	"fesia/internal/hashutil"
 	"fesia/internal/simd"
 )
@@ -159,7 +160,7 @@ func ReadSet(r io.Reader) (*Set, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: reading elements: %w", err)
 	}
-	s := newShell(cfg, mBits, make([]uint32, nseg), offsets, reordered)
+	s := newShell(cfg, bitmap.New(mBits, cfg.SegBits), make([]uint32, nseg), offsets, reordered)
 	copy(s.bm.Words(), words)
 
 	// Validate the whole offset array before any slicing, then rederive

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"slices"
+	"unsafe"
 
 	"fesia/internal/bitmap"
 	"fesia/internal/hashutil"
@@ -136,50 +137,66 @@ func NewSet(elems []uint32, cfg Config) (*Set, error) {
 	sorted := sortDedup(elems)
 	mBits := bitmapBits(len(sorted), cfg.Scale)
 	nseg := int(mBits) / cfg.SegBits
-	s := newShell(cfg, mBits,
+	s := newShell(cfg, bitmap.New(mBits, cfg.SegBits),
 		make([]uint32, nseg), make([]uint32, nseg+1), make([]uint32, len(sorted)))
 	s.fill(sorted)
 	return s, nil
 }
 
-// NewSetBatch builds one Set per input list with all backing arrays packed
-// into three shared arenas, so a workload that intersects many small sets —
-// per-vertex neighbor sets in triangle counting, per-item posting lists in
-// an inverted index — touches contiguous memory instead of one scattered
-// allocation per set. The sets behave exactly like NewSet's.
+// NewSetBatch builds one Set per input list with all backing storage packed
+// into a shared arena. It is kept as a compatibility alias for BuildSets.
 func NewSetBatch(lists [][]uint32, cfg Config) ([]*Set, error) {
+	return BuildSets(lists, cfg)
+}
+
+// BuildSets constructs a whole corpus of Sets into ONE contiguous backing
+// allocation: for each set, its bitmap words, then its sizes, offsets and
+// reordered arrays (the uint32 region padded to word alignment), laid out
+// back to back in input order. A workload that intersects one query against
+// many small candidate sets — per-vertex neighbor lists in triangle
+// counting, per-keyword posting lists in an inverted index — then walks one
+// contiguous arena in candidate order instead of chasing four heap pointers
+// per set. The sets behave exactly like NewSet's; note that every set keeps
+// the whole arena alive, so release all sets of a batch together.
+func BuildSets(lists [][]uint32, cfg Config) ([]*Set, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
 	}
 	sortedLists := make([][]uint32, len(lists))
-	var totalSegs, totalElems int
 	mBitsOf := make([]uint64, len(lists))
+	totalU64 := 0 // arena size in 64-bit words
 	for i, l := range lists {
 		sorted := sortDedup(l)
 		sortedLists[i] = sorted
 		m := bitmapBits(len(sorted), cfg.Scale)
 		mBitsOf[i] = m
-		totalSegs += int(m) / cfg.SegBits
-		totalElems += len(sorted)
+		nseg := int(m) / cfg.SegBits
+		u32 := nseg + (nseg + 1) + len(sorted) // sizes + offsets + reordered
+		totalU64 += int(m)/64 + (u32+1)/2
 	}
-	sizesArena := make([]uint32, totalSegs)
-	offsetsArena := make([]uint32, totalSegs+len(lists))
-	elemsArena := make([]uint32, totalElems)
-
+	if len(lists) == 0 {
+		return []*Set{}, nil
+	}
+	arena := make([]uint64, totalU64)
 	sets := make([]*Set, len(lists))
-	segAt, offAt, elemAt := 0, 0, 0
+	at := 0
 	for i, sorted := range sortedLists {
-		nseg := int(mBitsOf[i]) / cfg.SegBits
-		s := newShell(cfg, mBitsOf[i],
-			sizesArena[segAt:segAt+nseg:segAt+nseg],
-			offsetsArena[offAt:offAt+nseg+1:offAt+nseg+1],
-			elemsArena[elemAt:elemAt+len(sorted):elemAt+len(sorted)])
+		mBits := mBitsOf[i]
+		nseg := int(mBits) / cfg.SegBits
+		nwords := int(mBits) / 64
+		words := arena[at : at+nwords : at+nwords]
+		at += nwords
+		u32Len := nseg + (nseg + 1) + len(sorted)
+		u32 := unsafe.Slice((*uint32)(unsafe.Pointer(&arena[at])), u32Len)
+		at += (u32Len + 1) / 2
+		sizes := u32[:nseg:nseg]
+		offsets := u32[nseg : 2*nseg+1 : 2*nseg+1]
+		reordered := u32[2*nseg+1 : u32Len : u32Len]
+		s := newShell(cfg, bitmap.NewFromWords(words, mBits, cfg.SegBits),
+			sizes, offsets, reordered)
 		s.fill(sorted)
 		sets[i] = s
-		segAt += nseg
-		offAt += nseg + 1
-		elemAt += len(sorted)
 	}
 	return sets, nil
 }
@@ -207,16 +224,17 @@ func bitmapBits(n int, scale float64) uint64 {
 	return mBits
 }
 
-// newShell assembles a Set around preallocated (possibly arena-backed)
-// sizes/offsets/reordered storage. Callers must fill() it before use.
-func newShell(cfg Config, mBits uint64, sizes, offsets, reordered []uint32) *Set {
+// newShell assembles a Set around a preallocated (possibly arena-backed)
+// bitmap and sizes/offsets/reordered storage. Callers must fill() it before
+// use.
+func newShell(cfg Config, bm *bitmap.Bitmap, sizes, offsets, reordered []uint32) *Set {
 	table := cfg.table()
 	return &Set{
 		cfg:       cfg,
 		hasher:    hashutil.New(cfg.Seed),
 		table:     table,
 		disp:      table.Dispatcher(),
-		bm:        bitmap.New(mBits, cfg.SegBits),
+		bm:        bm,
 		n:         len(reordered),
 		sizes:     sizes,
 		offsets:   offsets,

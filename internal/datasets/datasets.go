@@ -48,6 +48,18 @@ func GenPair(rng *rand.Rand, n1, n2, r int, universe uint32) (a, b []uint32) {
 	return a, b
 }
 
+// GenSorted returns one sorted duplicate-free set of n values drawn from
+// [0, universe) — the building block for one-vs-many corpora, where each
+// candidate is sampled independently rather than with a pinned overlap.
+func GenSorted(rng *rand.Rand, n int, universe uint32) []uint32 {
+	if uint64(n) > uint64(universe) {
+		panic(fmt.Sprintf("datasets: universe %d too small for %d distinct values", universe, n))
+	}
+	vals := sampleDistinct(rng, n, universe)
+	sortU32(vals)
+	return vals
+}
+
 // GenPairSelectivity is GenPair with the intersection size given as a
 // fraction of min(n1, n2) — the paper's selectivity knob (Figures 8-9).
 func GenPairSelectivity(rng *rand.Rand, n1, n2 int, selectivity float64, universe uint32) (a, b []uint32) {

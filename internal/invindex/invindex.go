@@ -27,6 +27,7 @@ type Index struct {
 	cfg      core.Config
 	postings map[uint32][]uint32
 	sets     map[uint32]*core.Set
+	empty    *core.Set // stands in for unknown items in batch queries
 	numDocs  int
 }
 
@@ -53,6 +54,9 @@ func FromCorpus(c *datasets.Corpus, cfg core.Config) (*Index, error) {
 	}
 	for i, item := range items {
 		ix.sets[item] = sets[i]
+	}
+	if ix.empty, err = core.NewSet(nil, cfg); err != nil {
+		return nil, fmt.Errorf("invindex: building empty set: %w", err)
 	}
 	return ix, nil
 }
@@ -136,6 +140,41 @@ func (ix *Index) Query(items ...uint32) []uint32 {
 	out := dst[:n]
 	slices.Sort(out)
 	return out
+}
+
+// QueryManyCount returns, for one base item, the number of documents it
+// shares with each of the other items — the paper's "one keyword against
+// many others" batch pattern (Section VII-F), answered by the one-vs-many
+// engine so the base posting's bitmap words and hash positions stay hot
+// across the whole candidate list. Unknown items (base or other) contribute
+// zero counts. It borrows a pooled executor; hot loops should hold their
+// own and call QueryManyCountExec.
+func (ix *Index) QueryManyCount(base uint32, others ...uint32) []int {
+	out := make([]int, len(others))
+	ex := execPool.Get().(*core.Executor)
+	defer execPool.Put(ex)
+	ix.QueryManyCountExec(ex, out, base, others)
+	return out
+}
+
+// QueryManyCountExec is QueryManyCount running on a caller-owned executor,
+// writing the per-item counts into out (which must have room for
+// len(others) entries). Only the candidate-set slice is allocated per call;
+// the intersection work itself runs on the executor's warm scratch.
+func (ix *Index) QueryManyCountExec(ex *core.Executor, out []int, base uint32, others []uint32) {
+	bs, ok := ix.sets[base]
+	if !ok {
+		bs = ix.empty
+	}
+	cands := make([]*core.Set, len(others))
+	for i, o := range others {
+		if s, ok := ix.sets[o]; ok {
+			cands[i] = s
+		} else {
+			cands[i] = ix.empty
+		}
+	}
+	ex.CountMany(bs, cands, out)
 }
 
 // QueryCountWith answers the query using an arbitrary k-way counting
