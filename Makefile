@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover check bench benchcheck batchbench ablation fuzz kernels experiments examples clean
+.PHONY: all build test race cover check bench benchcheck batchbench ablation fuzz fuzzsmoke kernels experiments examples clean
 
 all: build test
 
@@ -49,11 +49,16 @@ ablation:
 	$(GO) test -bench=Ablation -benchmem .
 
 # Short differential fuzzing session for the intersection strategies and the
-# set deserializer.
+# snapshot deserializers.
 fuzz:
 	$(GO) test ./internal/core -fuzz=FuzzIntersect -fuzztime=30s
 	$(GO) test ./internal/core -fuzz=FuzzReadSet -fuzztime=30s
+	$(GO) test ./internal/core -fuzz=FuzzReadCorpus -fuzztime=30s
 	$(GO) test ./internal/kernels -fuzz=FuzzTableCount -fuzztime=30s
+
+# CI-sized fuzz smoke: every fuzz target for 30s each (same set as `fuzz`;
+# kept as a separate name so CI and local long runs can diverge later).
+fuzzsmoke: fuzz
 
 # Regenerate the specialized kernel library after editing internal/kernels/kernelgen.
 kernels:

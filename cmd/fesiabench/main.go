@@ -115,6 +115,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonOut := flag.Bool("json", false, "benchmark strategies (one-shot vs Executor) and write BENCH_intersect.json")
 	batchJSON := flag.Bool("batchjson", false, "benchmark the one-vs-many batch engine and write BENCH_batch.json")
+	snapshot := flag.Bool("snapshot", false, "round-trip a corpus through the checksummed snapshot files and verify")
 	baseline := flag.String("baseline", "", "with -json/-batchjson: fail on >15% ns/op regression vs this baseline file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -147,6 +148,13 @@ func main() {
 
 	if *list {
 		fmt.Println(strings.Join(allExperiments, "\n"))
+		return
+	}
+	if *snapshot {
+		fmt.Printf("fesiabench: snapshot round trip (quick=%v)\n", *quick)
+		if err := runSnapshot(*quick); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if *jsonOut || *batchJSON {

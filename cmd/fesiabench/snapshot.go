@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"fesia"
+)
+
+// runSnapshot is the -snapshot mode: an end-to-end durability round trip.
+// It builds a corpus, persists it with the atomic checksummed writers (one
+// per-set snapshot plus one whole-corpus snapshot), loads both back, verifies
+// the loaded sets answer queries identically, and reports sizes and
+// throughput — the offline-build hand-off the paper's deployment model
+// assumes, exercised the way a production pipeline would run it.
+func runSnapshot(quick bool) error {
+	numSets, perSet := 256, 8192
+	if quick {
+		numSets, perSet = 64, 2048
+	}
+	dir, err := os.MkdirTemp("", "fesiabench-snapshot")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	rng := rand.New(rand.NewSource(1))
+	lists := make([][]uint32, numSets)
+	for i := range lists {
+		lists[i] = make([]uint32, perSet)
+		for j := range lists[i] {
+			lists[i][j] = rng.Uint32() % (1 << 24)
+		}
+	}
+	start := time.Now()
+	corpus, err := fesia.BuildBatch(lists)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built %d sets x %d elements in %v\n", numSets, perSet,
+		time.Since(start).Round(time.Millisecond))
+
+	// Whole-corpus snapshot: one file, one trailing checksum.
+	corpusPath := filepath.Join(dir, "corpus.fesia")
+	start = time.Now()
+	if err := fesia.WriteCorpusFile(corpusPath, corpus); err != nil {
+		return err
+	}
+	wDur := time.Since(start)
+	info, err := os.Stat(corpusPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus snapshot: %d bytes written in %v (%.0f MB/s)\n",
+		info.Size(), wDur.Round(time.Millisecond),
+		float64(info.Size())/wDur.Seconds()/1e6)
+
+	start = time.Now()
+	loaded, err := fesia.ReadCorpusFile(corpusPath)
+	if err != nil {
+		return err
+	}
+	rDur := time.Since(start)
+	fmt.Printf("corpus load+validate: %v (%.0f MB/s)\n",
+		rDur.Round(time.Millisecond), float64(info.Size())/rDur.Seconds()/1e6)
+
+	// Single-set snapshot through the same atomic writer.
+	setPath := filepath.Join(dir, "set.fesia")
+	if err := fesia.WriteSetFile(setPath, corpus[0]); err != nil {
+		return err
+	}
+	loadedSet, err := fesia.ReadSetFile(setPath)
+	if err != nil {
+		return err
+	}
+
+	// Verify: loaded sets must answer queries exactly like the originals.
+	if len(loaded) != len(corpus) {
+		return fmt.Errorf("loaded %d sets, want %d", len(loaded), len(corpus))
+	}
+	e := fesia.NewExecutor()
+	q := corpus[0]
+	want := make([]int, len(corpus))
+	got := make([]int, len(corpus))
+	e.IntersectCountMany(q, corpus, want)
+	e.IntersectCountMany(loadedSet, loaded, got)
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("loaded corpus answers differently at set %d: %d != %d",
+				i, got[i], want[i])
+		}
+	}
+	fmt.Printf("verified: %d one-vs-many counts identical across the round trip\n", len(want))
+	return nil
+}

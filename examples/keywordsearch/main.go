@@ -4,7 +4,8 @@
 // A WebDocs-like corpus is generated (Zipf-skewed item popularity), an
 // inverted index is built with one FESIA set per posting list, and random
 // multi-keyword queries are answered by k-way set intersection — FESIA
-// against the scalar merge baseline.
+// against the scalar merge baseline. Queries run under a per-request
+// deadline, the serving pattern the context-aware API supports.
 //
 // Run with:
 //
@@ -12,8 +13,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"time"
 
 	"fesia/internal/baselines"
@@ -21,6 +24,11 @@ import (
 	"fesia/internal/datasets"
 	"fesia/internal/invindex"
 )
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "keywordsearch:", err)
+	os.Exit(1)
+}
 
 func main() {
 	fmt.Println("generating corpus...")
@@ -36,7 +44,7 @@ func main() {
 	start := time.Now()
 	index, err := invindex.FromCorpus(corpus, core.DefaultConfig())
 	if err != nil {
-		panic(err)
+		fail(err)
 	}
 	fmt.Printf("index built in %.2fs (%d posting lists)\n\n",
 		time.Since(start).Seconds(), index.NumItems())
@@ -44,18 +52,27 @@ func main() {
 	rng := rand.New(rand.NewSource(7))
 	queries := corpus.SampleQueries(rng, 8, 2, 100, 0.2, 0)
 
+	// Every query runs under a request deadline; a query that blows the
+	// budget returns context.DeadlineExceeded instead of stalling the loop.
+	const queryBudget = 100 * time.Millisecond
+
 	fmt.Println("two-keyword conjunctive queries (selectivity < 0.2):")
 	for qi, q := range queries {
+		ctx, cancel := context.WithTimeout(context.Background(), queryBudget)
 		t0 := time.Now()
-		nFesia := index.QueryCount(q.Items...)
+		nFesia, err := index.QueryCountCtx(ctx, q.Items...)
 		tFesia := time.Since(t0)
+		cancel()
+		if err != nil {
+			fail(fmt.Errorf("query %d: %w", qi, err))
+		}
 
 		t0 = time.Now()
 		nScalar := index.QueryCountWith(baselines.CountScalarK, q.Items...)
 		tScalar := time.Since(t0)
 
 		if nFesia != nScalar {
-			panic(fmt.Sprintf("query %d: FESIA %d != scalar %d", qi, nFesia, nScalar))
+			fail(fmt.Errorf("query %d: FESIA %d != scalar %d", qi, nFesia, nScalar))
 		}
 		fmt.Printf("  q%d: |postings| = %d, %d -> %d matches; fesia %v, scalar %v (%.1fx)\n",
 			qi, len(q.Postings[0]), len(q.Postings[1]), nFesia,

@@ -1,6 +1,7 @@
 package fesia
 
 import (
+	"context"
 	"slices"
 	"sync"
 
@@ -169,6 +170,47 @@ func (e *Executor) IntersectCountParallel(a, b *Set, workers int) int {
 // of the persistent worker pool.
 func (e *Executor) IntersectCountKParallel(workers int, sets ...*Set) int {
 	return e.inner.CountKParallel(workers, e.unwrap(sets)...)
+}
+
+// Context-aware variants. Serving systems need runaway queries to be
+// deadline-bounded and cancellable; these methods check ctx cooperatively at
+// coarse checkpoints (per bitmap-word block, per staged-segment block, per
+// candidate) and return ctx.Err() as soon as one observes the context done.
+// The plain methods above share none of these checkpoints and keep their
+// zero-allocation, branch-predictable hot paths. On cancellation, counts are
+// zero, destination buffers hold unspecified partial data, and the Executor
+// remains valid for further queries.
+
+// IntersectCountCtx is IntersectCount with cooperative cancellation.
+func (e *Executor) IntersectCountCtx(ctx context.Context, a, b *Set) (int, error) {
+	return e.inner.CountCtx(ctx, a.inner, b.inner)
+}
+
+// IntersectIntoCtx is IntersectInto with cooperative cancellation. On
+// cancellation it returns (0, ctx.Err()) and dst holds unspecified partial
+// data.
+func (e *Executor) IntersectIntoCtx(ctx context.Context, dst []uint32, a, b *Set) (int, error) {
+	return e.inner.IntersectIntoCtx(ctx, dst, a.inner, b.inner)
+}
+
+// IntersectCountKCtx is IntersectCountK with cooperative cancellation.
+func (e *Executor) IntersectCountKCtx(ctx context.Context, sets ...*Set) (int, error) {
+	return e.inner.CountKCtx(ctx, e.unwrap(sets)...)
+}
+
+// IntersectCountManyCtx is IntersectCountMany with cooperative cancellation,
+// checked once per candidate: out[i] holds |q ∩ candidates[i]| for every
+// candidate processed before the context fired.
+func (e *Executor) IntersectCountManyCtx(ctx context.Context, q *Set, candidates []*Set, out []int) error {
+	return e.inner.CountManyCtx(ctx, q.inner, e.unwrap(candidates), out)
+}
+
+// IntersectCountManyParallelCtx is IntersectCountManyParallel with
+// cooperative cancellation: every worker checks the context once per
+// candidate, so a cancelled batch over thousands of candidates unwinds within
+// one candidate's worth of work per worker.
+func (e *Executor) IntersectCountManyParallelCtx(ctx context.Context, q *Set, candidates []*Set, out []int, workers int) error {
+	return e.inner.CountManyParallelCtx(ctx, q.inner, e.unwrap(candidates), out, workers)
 }
 
 // executors recycles default executors behind the package-level

@@ -141,6 +141,35 @@ func ReadSet(r io.Reader) (*Set, error) {
 	return &Set{inner: inner}, nil
 }
 
+// WriteCorpus serializes a whole corpus of sets — typically a BuildBatch
+// result — into one stream with a trailing whole-file CRC32C checksum. All
+// sets must share one build configuration. The corresponding loader is
+// ReadCorpus.
+func WriteCorpus(w io.Writer, sets []*Set) (int64, error) {
+	inner := make([]*core.Set, len(sets))
+	for i, s := range sets {
+		inner[i] = s.inner
+	}
+	return core.WriteCorpus(w, inner)
+}
+
+// ReadCorpus deserializes a corpus written by WriteCorpus, verifying the
+// whole-file checksum before any structural interpretation and rebuilding the
+// sets into one contiguous arena (the BuildBatch memory layout). Corruption —
+// truncation, bit flips, forged headers — yields an error, never a panic or a
+// silently wrong set.
+func ReadCorpus(r io.Reader) ([]*Set, error) {
+	inner, err := core.ReadCorpus(r)
+	if err != nil {
+		return nil, err
+	}
+	sets := make([]*Set, len(inner))
+	for i, s := range inner {
+		sets[i] = &Set{inner: s}
+	}
+	return sets, nil
+}
+
 // IntersectCount returns |a ∩ b|, choosing between the two-step merge and
 // the hash-probe strategy based on the input size ratio (Section VI).
 // Compatibility wrapper over a pooled default Executor.

@@ -47,6 +47,13 @@ const stageReadAhead = 8
 // be the larger-bitmap set. Records are appended to recs (reset by the
 // caller); the possibly-grown slice is returned.
 func stageSegPairs(x, y *Set, recs []stagedSeg) []stagedSeg {
+	return stageSegPairsRange(x, y, recs, 0, len(x.bm.Words()))
+}
+
+// stageSegPairsRange is stageSegPairs restricted to words [wordLo, wordHi) of
+// x's bitmap — the checkpoint unit of the context-aware paths (ctx.go), which
+// stage one word block at a time so cancellation is honored between blocks.
+func stageSegPairsRange(x, y *Set, recs []stagedSeg, wordLo, wordHi int) []stagedSeg {
 	d := &x.disp
 	xw, yw := x.bm.Words(), y.bm.Words()
 	wordMask := len(yw) - 1
@@ -59,8 +66,8 @@ func stageSegPairs(x, y *Set, recs []stagedSeg) []stagedSeg {
 	segShift := uint(simd.Tzcnt32(uint32(segBits))) // log2(segBits)
 	alignMask := segBits - 1
 
-	for i, wx := range xw {
-		w := wx & yw[i&wordMask]
+	for i := wordLo; i < wordHi; i++ {
+		w := xw[i] & yw[i&wordMask]
 		if w == 0 {
 			continue
 		}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"unsafe"
+
+	"fesia/internal/bitmap"
+	"fesia/internal/hashutil"
+	"fesia/internal/simd"
+)
+
+// Corpus snapshots: one stream persisting an entire BuildSets/BuildBatch
+// corpus, so the offline builder ships a single artifact to query servers and
+// the loader reconstructs the sets into ONE contiguous arena — the same
+// memory layout BuildSets produces (per set: bitmap words, then the
+// word-aligned uint32 region holding sizes, offsets, reordered), preserving
+// the batch engine's locality.
+//
+// The stream is a fixed-layout little-endian format treated as untrusted:
+//
+//	magic "FESIAC2\x00" (8 bytes)
+//	config: width, segBits, stride (uint32 each), scale (float64), seed (uint64)
+//	numSets (uint64)
+//	per set: n (uint64), mBits (uint64)
+//	per set: bitmap words (mBits/64 × uint64),
+//	         offsets (nseg+1 × uint32), reordered (n × uint32)
+//	whole-file CRC32C (uint32, covering magic through the last payload byte)
+//
+// Sizes arrays are rederived on load (validateShell), exactly as ReadSet
+// does. Any truncation or bit flip fails the trailing checksum or a
+// structural check; a corrupt stream can never produce a loadable corpus.
+
+var corpusMagic = [8]byte{'F', 'E', 'S', 'I', 'A', 'C', '2', 0}
+
+// WriteCorpus serializes a whole corpus of sets into one stream with a
+// trailing whole-file CRC32C. All sets must share one build configuration
+// (the invariant BuildSets guarantees); sets from different builds cannot be
+// mixed into one snapshot.
+func WriteCorpus(w io.Writer, sets []*Set) (int64, error) {
+	cfg, err := corpusConfig(sets)
+	if err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	write := func(v interface{}) error {
+		return binary.Write(cw, binary.LittleEndian, v)
+	}
+	if _, err := cw.Write(corpusMagic[:]); err != nil {
+		return cw.n, err
+	}
+	hdr := []interface{}{
+		uint32(cfg.Width), uint32(cfg.SegBits), uint32(cfg.Stride),
+		math.Float64bits(cfg.Scale), cfg.Seed,
+		uint64(len(sets)),
+	}
+	for _, v := range hdr {
+		if err := write(v); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, s := range sets {
+		if err := write(uint64(s.n)); err != nil {
+			return cw.n, err
+		}
+		if err := write(s.bm.Bits()); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, s := range sets {
+		for _, section := range []interface{}{s.bm.Words(), s.offsets, s.reordered} {
+			if err := write(section); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := cw.emitCRC(); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// corpusConfig returns the shared configuration of the sets, or an error if
+// they disagree (or there are none to infer from — an empty corpus snapshots
+// the default configuration).
+func corpusConfig(sets []*Set) (Config, error) {
+	if len(sets) == 0 {
+		return DefaultConfig().normalize()
+	}
+	cfg := sets[0].cfg
+	for i, s := range sets[1:] {
+		if s.cfg != cfg {
+			return cfg, fmt.Errorf("core: corpus sets disagree on build config (set 0 %+v, set %d %+v)",
+				cfg, i+1, s.cfg)
+		}
+	}
+	return cfg, nil
+}
+
+// corpusSetMeta is one set's header entry: the two quantities every array
+// length derives from.
+type corpusSetMeta struct {
+	n     int
+	mBits uint64
+}
+
+// ReadCorpus deserializes a corpus written by WriteCorpus, verifying the
+// trailing whole-file checksum before any structural interpretation, then
+// rebuilding every set into one contiguous arena (the BuildSets layout) and
+// re-validating each set's structural invariants. Corruption — truncation,
+// bit flips, forged headers — yields an error, never a panic, hang, or
+// silently wrong set.
+func ReadCorpus(r io.Reader) ([]*Set, error) {
+	br := bufio.NewReader(r)
+	cr := &crcReader{r: br}
+	var magic [8]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading corpus magic: %w", noEOF(err))
+	}
+	if magic != corpusMagic {
+		return nil, fmt.Errorf("core: bad corpus magic %q", magic[:])
+	}
+	var width, segBits, stride uint32
+	var scaleBits, seed, numSets uint64
+	for _, v := range []interface{}{&width, &segBits, &stride, &scaleBits, &seed, &numSets} {
+		if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("core: reading corpus header: %w", noEOF(err))
+		}
+	}
+	cfg := Config{
+		Width:   simd.Width(width),
+		SegBits: int(segBits),
+		Scale:   math.Float64frombits(scaleBits),
+		Seed:    seed,
+		Stride:  int(stride),
+	}
+	cfg, err := cfg.normalize()
+	if err != nil {
+		return nil, fmt.Errorf("core: invalid corpus config: %w", err)
+	}
+
+	// Per-set headers, read incrementally so a forged numSets fails at the
+	// first short read instead of provoking a huge allocation; the running
+	// arena total is capped as it accumulates (every entry contributes at
+	// least one word, so the cap also bounds the loop).
+	metas := make([]corpusSetMeta, 0, min(int(min(numSets, 1<<16)), 1<<16))
+	var totalU64, payloadBytes uint64
+	for i := uint64(0); i < numSets; i++ {
+		var n64, mBits uint64
+		if err := binary.Read(cr, binary.LittleEndian, &n64); err != nil {
+			return nil, fmt.Errorf("core: reading set %d header: %w", i, noEOF(err))
+		}
+		if err := binary.Read(cr, binary.LittleEndian, &mBits); err != nil {
+			return nil, fmt.Errorf("core: reading set %d header: %w", i, noEOF(err))
+		}
+		if !hashutil.IsPow2(mBits) || mBits < 64 || mBits > maxReasonable {
+			return nil, fmt.Errorf("core: set %d: invalid bitmap size %d", i, mBits)
+		}
+		if n64 > maxReasonable {
+			return nil, fmt.Errorf("core: set %d: implausible set size %d", i, n64)
+		}
+		nseg := mBits / uint64(cfg.SegBits)
+		u32Len := nseg + (nseg + 1) + n64 // sizes + offsets + reordered
+		totalU64 += mBits/64 + (u32Len+1)/2
+		payloadBytes += mBits / 8 * /* words */ 1
+		payloadBytes += ((nseg + 1) + n64) * 4 // offsets + reordered (sizes are rederived)
+		if totalU64 > maxReasonable {
+			return nil, fmt.Errorf("core: corpus arena implausibly large (%d words)", totalU64)
+		}
+		metas = append(metas, corpusSetMeta{n: int(n64), mBits: mBits})
+	}
+
+	// Pull the payload through the checksum in bounded chunks: the buffer
+	// grows only as data actually arrives, so a forged header meets a short
+	// read, not an allocation. The trailing whole-file CRC is verified before
+	// any byte of the payload is interpreted.
+	payload := make([]byte, 0, min(payloadBytes, 1<<20))
+	for remaining := payloadBytes; remaining > 0; {
+		c := min(remaining, 1<<16)
+		chunk := make([]byte, c)
+		if _, err := io.ReadFull(cr, chunk); err != nil {
+			return nil, fmt.Errorf("core: reading corpus payload: %w", noEOF(err))
+		}
+		payload = append(payload, chunk...)
+		remaining -= c
+	}
+	if err := cr.checkCRC("corpus"); err != nil {
+		return nil, err
+	}
+
+	// Checksum verified: rebuild the arena. The allocation is backed by an
+	// actually-received stream of the same magnitude.
+	arena := make([]uint64, totalU64)
+	sets := make([]*Set, len(metas))
+	pr := bytes.NewReader(payload)
+	at := 0
+	for i, m := range metas {
+		nseg := int(m.mBits) / cfg.SegBits
+		nwords := int(m.mBits) / 64
+		words := arena[at : at+nwords : at+nwords]
+		at += nwords
+		u32Len := nseg + (nseg + 1) + m.n
+		u32 := unsafe.Slice((*uint32)(unsafe.Pointer(&arena[at])), u32Len)
+		at += (u32Len + 1) / 2
+		sizes := u32[:nseg:nseg]
+		offsets := u32[nseg : 2*nseg+1 : 2*nseg+1]
+		reordered := u32[2*nseg+1 : u32Len : u32Len]
+		if err := readU64sInto(pr, words); err != nil {
+			return nil, fmt.Errorf("core: decoding set %d bitmap: %w", i, noEOF(err))
+		}
+		if err := readU32sInto(pr, offsets); err != nil {
+			return nil, fmt.Errorf("core: decoding set %d offsets: %w", i, noEOF(err))
+		}
+		if err := readU32sInto(pr, reordered); err != nil {
+			return nil, fmt.Errorf("core: decoding set %d elements: %w", i, noEOF(err))
+		}
+		s := newShell(cfg, bitmap.NewFromWords(words, m.mBits, cfg.SegBits),
+			sizes, offsets, reordered)
+		if err := validateShell(s); err != nil {
+			return nil, fmt.Errorf("core: set %d: %w", i, err)
+		}
+		sets[i] = s
+	}
+	return sets, nil
+}
+
+// crc32cOf is a convenience for tests: the CRC32C of data.
+func crc32cOf(data []byte) uint32 {
+	return crc32.Checksum(data, castagnoli)
+}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"context"
+)
+
+// Context-aware query paths. A serving system needs runaway queries to be
+// deadline-bounded and cancellable; these variants thread a context.Context
+// through the expensive loops with cooperative checkpoints at coarse
+// granularity — per bitmap-word block in dispatch pass 1, per staged-segment
+// block in pass 2, per probed-element block in the hash strategy, and per
+// candidate in the one-vs-many paths. The blocks are large enough that the
+// checkpoint branch is invisible next to the work between checks, yet small
+// enough that cancellation and deadlines are honored within microseconds of
+// firing. The uncancelled hot paths (Count, Intersect, CountMany, ...) are
+// untouched: they share none of these loops, stay branch-predictable, and
+// keep their zero-allocation guarantee (enforced by make benchcheck).
+//
+// On cancellation every method returns ctx.Err() (possibly wrapped by the
+// caller's context machinery); counts are 0 and any destination buffers hold
+// unspecified partial data. No scratch state is corrupted — the executor
+// remains valid for further queries.
+const (
+	// ctxWordBlock is the pass-1 checkpoint unit: bitmap words ANDed (and
+	// their surviving pairs staged) between context checks. At a few cycles
+	// per word plus staging, 1024 words sit well under 10µs.
+	ctxWordBlock = 1024
+	// ctxStageBlock is the pass-2 checkpoint unit: staged segment records
+	// dispatched to kernels between checks. Segment kernels touch a handful
+	// of elements each, so 256 records is microseconds of work.
+	ctxStageBlock = 256
+	// ctxProbeBlock is the hash-strategy checkpoint unit: elements probed
+	// between checks.
+	ctxProbeBlock = 2048
+)
+
+// CountCtx is Count with cooperative cancellation: it returns |a ∩ b| with
+// the adaptively chosen strategy, or ctx.Err() as soon as a checkpoint
+// observes the context done.
+func (e *Executor) CountCtx(ctx context.Context, a, b *Set) (int, error) {
+	compatible(a, b)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if useHash(a, b) {
+		return e.countHashCtx(ctx, a, b)
+	}
+	return e.countMergeCtx(ctx, a, b)
+}
+
+// countMergeCtx runs the two-step merge strategy as a staged two-pass
+// dispatch (the batch engine's split), checking the context between word
+// blocks in pass 1 and between record blocks in pass 2.
+func (e *Executor) countMergeCtx(ctx context.Context, a, b *Set) (int, error) {
+	x, y := ordered(a, b)
+	words := len(x.bm.Words())
+	recs := e.staged[:0]
+	for lo := 0; lo < words; lo += ctxWordBlock {
+		if err := ctx.Err(); err != nil {
+			e.staged = recs
+			return 0, err
+		}
+		recs = stageSegPairsRange(x, y, recs, lo, min(lo+ctxWordBlock, words))
+	}
+	e.staged = recs
+	n := 0
+	var touch uint32
+	for lo := 0; lo < len(recs); lo += ctxStageBlock {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		dn, dt := dispatchStagedCount(&x.disp, x.reordered, y.reordered,
+			recs[lo:min(lo+ctxStageBlock, len(recs))])
+		n += dn
+		touch += dt
+	}
+	e.touchSink += touch
+	return n, nil
+}
+
+// countHashCtx runs the skewed-input hash strategy in probe blocks, checking
+// the context between blocks.
+func (e *Executor) countHashCtx(ctx context.Context, a, b *Set) (int, error) {
+	small, large := a, b
+	if small.n > large.n {
+		small, large = large, small
+	}
+	n := 0
+	for lo := 0; lo < small.n; lo += ctxProbeBlock {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		n += hashProbeRange(small, large, lo, min(lo+ctxProbeBlock, small.n), nil)
+	}
+	return n, nil
+}
+
+// IntersectIntoCtx is Intersect-into-dst with cooperative cancellation. dst
+// must have room for min(a.Len(), b.Len()) elements; results land in the same
+// segment order Intersect produces. On cancellation it returns (0, ctx.Err())
+// and dst holds unspecified partial data.
+func (e *Executor) IntersectIntoCtx(ctx context.Context, dst []uint32, a, b *Set) (int, error) {
+	compatible(a, b)
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	if useHash(a, b) {
+		small, large := a, b
+		if small.n > large.n {
+			small, large = large, small
+		}
+		n := 0
+		for lo := 0; lo < small.n; lo += ctxProbeBlock {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			hi := min(lo+ctxProbeBlock, small.n)
+			hashProbeRange(small, large, lo, hi, func(x uint32) {
+				dst[n] = x
+				n++
+			})
+		}
+		return n, nil
+	}
+	x, y := ordered(a, b)
+	words := len(x.bm.Words())
+	recs := e.staged[:0]
+	for lo := 0; lo < words; lo += ctxWordBlock {
+		if err := ctx.Err(); err != nil {
+			e.staged = recs
+			return 0, err
+		}
+		recs = stageSegPairsRange(x, y, recs, lo, min(lo+ctxWordBlock, words))
+	}
+	e.staged = recs
+	n := 0
+	var touch uint32
+	for lo := 0; lo < len(recs); lo += ctxStageBlock {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		dn, dt := dispatchStagedIntersect(&x.disp, dst[n:], x.reordered, y.reordered,
+			recs[lo:min(lo+ctxStageBlock, len(recs))])
+		n += dn
+		touch += dt
+	}
+	e.touchSink += touch
+	return n, nil
+}
+
+// CountKCtx is CountK with cooperative cancellation: the k-way bitmap AND and
+// its segment chains run one word block at a time, with a context check
+// between blocks.
+func (e *Executor) CountKCtx(ctx context.Context, sets ...*Set) (int, error) {
+	switch len(sets) {
+	case 0:
+		panic("core: intersection of zero sets")
+	case 1:
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return sets[0].n, nil
+	case 2:
+		return e.CountCtx(ctx, sets[0], sets[1])
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	x, rest := e.kwayPrepare(sets)
+	words := len(x.bm.Words())
+	total := 0
+	for lo := 0; lo < words; lo += ctxWordBlock {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		e.kwayChainRange(x, rest, lo, min(lo+ctxWordBlock, words),
+			func(cur []uint32) { total += len(cur) })
+	}
+	return total, nil
+}
+
+// CountManyCtx is CountMany with cooperative cancellation, checked once per
+// candidate: out[i] is |q ∩ candidates[i]| for every candidate processed
+// before the context fired. On cancellation it returns ctx.Err() and the tail
+// of out is unspecified.
+func (e *Executor) CountManyCtx(ctx context.Context, q *Set, candidates []*Set, out []int) error {
+	if len(out) < len(candidates) {
+		panic("core: CountManyCtx output shorter than candidate list")
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	e.ensureProbe()
+	recs := e.staged
+	var touch uint32
+	var err error
+	for i, c := range candidates {
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		out[i], recs, touch = countOneBatch(&e.qcache, e.probeStage, q, c, recs, touch)
+	}
+	e.staged = recs
+	e.touchSink += touch
+	return err
+}
+
+// countOneBatch is the adaptive one-candidate step of the batch engine — the
+// shared body of the context-aware Many paths. It returns the count, the
+// (possibly grown) staging record buffer, and the accumulated read-ahead
+// touch value.
+func countOneBatch(qc *probeCache, stage []probeRec, q, c *Set, recs []stagedSeg, touch uint32) (int, []stagedSeg, uint32) {
+	compatible(q, c)
+	switch {
+	case c.n == 0 || q.n == 0:
+		return 0, recs, touch
+	case useHash(q, c):
+		small, large := q, c
+		if small.n > large.n {
+			small, large = large, small
+		}
+		n, t := hashProbeBatch(qc, q, small, large, stage, nil, nil)
+		return n, recs, touch + t
+	default:
+		n, recs, t := countMergeStaged(q, c, recs)
+		return n, recs, touch + t
+	}
+}
+
+// CountManyParallelCtx is CountManyParallel with cooperative cancellation:
+// every worker checks the context once per candidate and abandons its
+// remaining share when it fires, so a cancelled batch over thousands of
+// candidates unwinds within one candidate's worth of work per worker. On
+// cancellation it returns ctx.Err() and out holds unspecified partial data.
+func (e *Executor) CountManyParallelCtx(ctx context.Context, q *Set, candidates []*Set, out []int, workers int) error {
+	if len(out) < len(candidates) {
+		panic("core: CountManyParallelCtx output shorter than candidate list")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(candidates) {
+		workers = len(candidates)
+	}
+	if workers <= 1 {
+		return e.CountManyCtx(ctx, q, candidates, out)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if cap(e.sched) < len(candidates) {
+		e.sched = make([]int32, len(candidates))
+	}
+	sched := e.sched[:len(candidates)]
+	for i := range sched {
+		sched[i] = int32(i)
+	}
+	sortIdxByLenDesc(sched, candidates)
+	e.ensureWorkers(workers)
+	e.getPool().Do(workers, func(w int) {
+		ws := &e.workers[w]
+		if cap(ws.probeStage) < probeBlock {
+			ws.probeStage = make([]probeRec, probeBlock)
+		}
+		ws.qcache.bits = 0
+		recs := ws.staged
+		var touch uint32
+		for k := w; k < len(sched); k += workers {
+			if ctx.Err() != nil {
+				break
+			}
+			i := sched[k]
+			out[i], recs, touch = countOneBatch(&ws.qcache, ws.probeStage, q, candidates[i], recs, touch)
+		}
+		ws.staged = recs
+		ws.touch = touch
+	})
+	return ctx.Err()
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"slices"
+	"testing"
+	"time"
+)
+
+// TestCtxParityUncancelled: with a background context every ctx-aware path
+// must return exactly what its plain counterpart returns, across strategies.
+func TestCtxParityUncancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	e := NewExecutor()
+	ctx := context.Background()
+	for trial := 0; trial < 25; trial++ {
+		cfg := DefaultConfig()
+		sa := MustNewSet(randSet(rng, 1+rng.Intn(4000), 1<<15), cfg)
+		sb := MustNewSet(randSet(rng, 1+rng.Intn(4000), 1<<15), cfg)
+		sc := MustNewSet(randSet(rng, rng.Intn(600), 1<<15), cfg)
+
+		if got, err := e.CountCtx(ctx, sa, sb); err != nil || got != Count(sa, sb) {
+			t.Fatalf("trial %d: CountCtx = %d, %v; want %d, nil", trial, got, err, Count(sa, sb))
+		}
+		if got, err := e.CountCtx(ctx, sc, sa); err != nil || got != Count(sc, sa) {
+			t.Fatalf("trial %d: CountCtx(skewed) = %d, %v; want %d", trial, got, err, Count(sc, sa))
+		}
+		if got, err := e.CountKCtx(ctx, sa, sb, sc); err != nil || got != CountK(sa, sb, sc) {
+			t.Fatalf("trial %d: CountKCtx = %d, %v; want %d", trial, got, err, CountK(sa, sb, sc))
+		}
+
+		want := make([]uint32, min(sa.Len(), sb.Len()))
+		wn := Intersect(want, sa, sb)
+		got := make([]uint32, min(sa.Len(), sb.Len()))
+		gn, err := e.IntersectIntoCtx(ctx, got, sa, sb)
+		if err != nil || !slices.Equal(got[:gn], want[:wn]) {
+			t.Fatalf("trial %d: IntersectIntoCtx wrote %d (%v), plain wrote %d or order differs",
+				trial, gn, err, wn)
+		}
+		// Skewed pair exercises the hash branch of IntersectIntoCtx.
+		wantH := make([]uint32, min(sc.Len(), sa.Len()))
+		gotH := make([]uint32, min(sc.Len(), sa.Len()))
+		wn = Intersect(wantH, sc, sa)
+		gn, err = e.IntersectIntoCtx(ctx, gotH, sc, sa)
+		if err != nil || gn != wn || !slices.Equal(gotH[:gn], wantH[:wn]) {
+			t.Fatalf("trial %d: hash IntersectIntoCtx wrote %d (%v), want %d", trial, gn, err, wn)
+		}
+	}
+}
+
+// TestCtxManyParity: CountManyCtx and CountManyParallelCtx match CountMany on
+// an uncancelled context, warm and cold, across worker counts.
+func TestCtxManyParity(t *testing.T) {
+	q, cands := batchFixture(t, 62, 64)
+	ctx := context.Background()
+	want := make([]int, len(cands))
+	CountMany(q, cands, want)
+
+	e := NewExecutor()
+	out := make([]int, len(cands))
+	for round := 0; round < 2; round++ { // cold then warm
+		if err := e.CountManyCtx(ctx, q, cands, out); err != nil {
+			t.Fatalf("round %d: CountManyCtx: %v", round, err)
+		}
+		if !slices.Equal(out, want) {
+			t.Fatalf("round %d: CountManyCtx diverges from CountMany", round)
+		}
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		clear(out)
+		if err := e.CountManyParallelCtx(ctx, q, cands, out, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !slices.Equal(out, want) {
+			t.Fatalf("workers=%d: CountManyParallelCtx diverges from CountMany", workers)
+		}
+	}
+}
+
+// TestCtxPreCancelled: an already-cancelled context must fail every path
+// immediately with context.Canceled, without touching destination state in
+// confusing ways (counts report zero).
+func TestCtxPreCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	sa := MustNewSet(randSet(rng, 3000, 1<<15), DefaultConfig())
+	sb := MustNewSet(randSet(rng, 3000, 1<<15), DefaultConfig())
+	e := NewExecutor()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if n, err := e.CountCtx(ctx, sa, sb); !errors.Is(err, context.Canceled) || n != 0 {
+		t.Fatalf("CountCtx = %d, %v; want 0, Canceled", n, err)
+	}
+	dst := make([]uint32, 3000)
+	if n, err := e.IntersectIntoCtx(ctx, dst, sa, sb); !errors.Is(err, context.Canceled) || n != 0 {
+		t.Fatalf("IntersectIntoCtx = %d, %v; want 0, Canceled", n, err)
+	}
+	if n, err := e.CountKCtx(ctx, sa, sb, sb); !errors.Is(err, context.Canceled) || n != 0 {
+		t.Fatalf("CountKCtx = %d, %v; want 0, Canceled", n, err)
+	}
+	out := make([]int, 4)
+	if err := e.CountManyCtx(ctx, sa, []*Set{sb, sb, sb, sb}, out); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CountManyCtx err = %v, want Canceled", err)
+	}
+	if err := e.CountManyParallelCtx(ctx, sa, []*Set{sb, sb, sb, sb}, out, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CountManyParallelCtx err = %v, want Canceled", err)
+	}
+}
+
+// TestCtxDeadline: a deadline that fires mid-query must surface as
+// DeadlineExceeded, and the executor must remain fully usable afterwards.
+func TestCtxDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	q := MustNewSet(randSet(rng, 2000, 1<<18), DefaultConfig())
+	cands := make([]*Set, 512)
+	for i := range cands {
+		cands[i] = MustNewSet(randSet(rng, 2000, 1<<18), DefaultConfig())
+	}
+	e := NewExecutor()
+	out := make([]int, len(cands))
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	// The deadline is (almost certainly) already expired; either way the call
+	// must return promptly with DeadlineExceeded, never a wrong success.
+	err := e.CountManyCtx(ctx, q, cands, out)
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("CountManyCtx err = %v, want DeadlineExceeded (or full completion)", err)
+	}
+
+	// The executor survives: a fresh uncancelled run is correct.
+	want := make([]int, len(cands))
+	CountMany(q, cands, want)
+	if err := e.CountManyCtx(context.Background(), q, cands, out); err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(out, want) {
+		t.Fatal("executor corrupted after deadline abort")
+	}
+}
+
+// TestCtxCancelLatencyManyParallel is the acceptance gate: a cancelled
+// CountManyParallelCtx over >= 4096 candidates must return within 10ms of the
+// cancellation firing.
+func TestCtxCancelLatencyManyParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	q := MustNewSet(randSet(rng, 4000, 1<<18), DefaultConfig())
+	cands := make([]*Set, 4096)
+	for i := range cands {
+		cands[i] = MustNewSet(randSet(rng, 200+rng.Intn(800), 1<<14), DefaultConfig())
+	}
+	e := NewExecutor()
+	out := make([]int, len(cands))
+
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		started := make(chan struct{})
+		go func() {
+			close(started)
+			done <- e.CountManyParallelCtx(ctx, q, cands, out, workers)
+		}()
+		<-started
+		time.Sleep(200 * time.Microsecond) // let the batch get going
+		cancelAt := time.Now()
+		cancel()
+		select {
+		case err := <-done:
+			if lat := time.Since(cancelAt); err != nil && lat > 10*time.Millisecond {
+				t.Fatalf("workers=%d: cancellation honored after %v, want <= 10ms", workers, lat)
+			}
+			// err == nil means the whole batch beat the cancel — fine.
+		case <-time.After(5 * time.Second):
+			t.Fatalf("workers=%d: cancelled batch never returned", workers)
+		}
+	}
+}
+
+// TestCtxBlockBoundaries exercises sets whose word counts straddle the
+// checkpoint block size, so block slicing off-by-ones would show up.
+func TestCtxBlockBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	e := NewExecutor()
+	ctx := context.Background()
+	// ~1<<20 bitmap bits = 16384 words = 16 word blocks for the big set.
+	big := MustNewSet(randSet(rng, 200_000, 1<<24), DefaultConfig())
+	small := MustNewSet(randSet(rng, 180_000, 1<<24), DefaultConfig())
+	if got, err := e.CountCtx(ctx, big, small); err != nil || got != Count(big, small) {
+		t.Fatalf("CountCtx on multi-block sets = %d, %v; want %d", got, err, Count(big, small))
+	}
+	if got, err := e.CountKCtx(ctx, big, small, big); err != nil || got != CountK(big, small, big) {
+		t.Fatalf("CountKCtx on multi-block sets = %d, %v; want %d", got, err, CountK(big, small, big))
+	}
+}

@@ -242,20 +242,31 @@ func (e *Executor) orderByBitmap(sets []*Set) {
 // pairwise kernel chain stays non-empty, hands the final chained list to
 // sink. It is the shared core of CountK, IntersectK and VisitK (k >= 3).
 func (e *Executor) kwayChain(sets []*Set, sink func(cur []uint32)) {
-	e.orderByBitmap(sets)
-	x := e.ord[0]
-	rest := e.ord[1:]
+	x, rest := e.kwayPrepare(sets)
+	e.kwayChainRange(x, rest, 0, len(x.bm.Words()), sink)
+}
 
+// kwayPrepare orders the sets, fills e.maps, and sizes the chain buffers —
+// the shared setup of kwayChain and the context-aware CountKCtx.
+func (e *Executor) kwayPrepare(sets []*Set) (x *Set, rest []*Set) {
+	e.orderByBitmap(sets)
+	x = e.ord[0]
+	rest = e.ord[1:]
 	maxSeg := x.maxSeg
 	for _, s := range rest {
 		maxSeg = max(maxSeg, s.maxSeg)
 	}
 	e.chain1 = growU32(e.chain1, max(maxSeg, 1))
 	e.chain2 = growU32(e.chain2, max(maxSeg, 1))
-	buf1, buf2 := e.chain1, e.chain2
+	return x, rest
+}
 
+// kwayChainRange runs the k-way chain over words [wordLo, wordHi) of the
+// largest bitmap, on buffers sized by kwayPrepare.
+func (e *Executor) kwayChainRange(x *Set, rest []*Set, wordLo, wordHi int, sink func(cur []uint32)) {
+	buf1, buf2 := e.chain1, e.chain2
 	t := x.table
-	bitmap.ForEachIntersectingSegmentK(e.maps, func(seg int) {
+	bitmap.ForEachIntersectingSegmentKRange(e.maps, wordLo, wordHi, func(seg int) {
 		cur := x.segment(seg)
 		n := len(cur)
 		out := buf1

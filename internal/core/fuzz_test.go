@@ -95,10 +95,22 @@ func FuzzReadSet(f *testing.F) {
 	valid := MustNewSet([]uint32{1, 5, 9, 1 << 30}, DefaultConfig())
 	var buf bytes.Buffer
 	if _, err := valid.WriteTo(&buf); err != nil {
-		f.Fatal(err)
+		f.Fatal(err) // v2 checksummed seed
 	}
 	f.Add(buf.Bytes())
+	var v1 bytes.Buffer
+	if _, err := writeSetV1(&v1, valid); err != nil {
+		f.Fatal(err) // legacy unchecksummed seed
+	}
+	f.Add(v1.Bytes())
+	bigger := MustNewSet([]uint32{2, 4, 8, 16, 1 << 10, 1 << 20, 1<<20 + 1}, DefaultConfig())
+	var v2b bytes.Buffer
+	if _, err := bigger.WriteTo(&v2b); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2b.Bytes())
 	f.Add([]byte("FESIA1\x00\x00junk"))
+	f.Add([]byte("FESIA2\x00\x00junk"))
 	f.Add([]byte{})
 	// Regression: a forged header demanding a multi-terabyte bitmap must
 	// fail at the first short read, not allocate (found by fuzzing).
@@ -115,6 +127,52 @@ func FuzzReadSet(f *testing.F) {
 		// Accepted sets must behave: self-intersection equals cardinality.
 		if got := CountMerge(s, s); got != s.Len() {
 			t.Fatalf("accepted set self-intersects to %d, len %d", got, s.Len())
+		}
+	})
+}
+
+// FuzzReadCorpus throws arbitrary bytes at the corpus deserializer: it must
+// never panic or allocate absurdly, and any corpus it accepts must consist of
+// structurally sound, mutually intersectable sets.
+func FuzzReadCorpus(f *testing.F) {
+	lists := [][]uint32{
+		{1, 5, 9, 1 << 30},
+		{},
+		{2, 5, 1 << 10},
+	}
+	sets, err := BuildSets(lists, DefaultConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := WriteCorpus(&buf, sets); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	var empty bytes.Buffer
+	if _, err := WriteCorpus(&empty, nil); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	f.Add([]byte("FESIAC2\x00junk"))
+	f.Add([]byte{})
+	// Forged header demanding an enormous corpus: must fail at a short read,
+	// not allocate.
+	huge := append([]byte(nil), buf.Bytes()[:8+28]...)
+	huge = append(huge, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F) // numSets
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := ReadCorpus(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, s := range loaded {
+			if got := CountMerge(s, s); got != s.Len() {
+				t.Fatalf("accepted set self-intersects to %d, len %d", got, s.Len())
+			}
+		}
+		if len(loaded) >= 2 {
+			_ = Count(loaded[0], loaded[1])
 		}
 	})
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is a fixed-size set of persistent worker goroutines for the parallel
@@ -14,20 +17,84 @@ import (
 //
 // A Pool is safe for concurrent use; independent queries may overlap on the
 // same pool.
+//
+// Fault containment: a panic inside a task does not kill the worker goroutine
+// (the pool's effective size never shrinks) and cannot strand Do's wait — the
+// worker recovers the panic, releases its WaitGroup slot, and parks for the
+// next task. Do re-raises the first captured panic on its own goroutine as a
+// *TaskPanic carrying the original panic value and stack, after every part
+// has finished. Query state is never shared between parts, so the surviving
+// parts' work is unaffected.
 type Pool struct {
-	tasks chan poolTask
-	size  int
+	tasks     chan poolTask
+	size      int
+	alive     atomic.Int64 // live worker goroutines, for leak checks and tests
+	closeOnce sync.Once
+	workerWG  sync.WaitGroup
 }
 
 type poolTask struct {
 	fn   func(part int)
 	part int
-	wg   *sync.WaitGroup
+	g    *doGroup
+}
+
+// doGroup is the per-Do completion state shared by the caller and the pool
+// workers running its parts: the WaitGroup the caller blocks on and the slot
+// holding the first panic any part raised.
+type doGroup struct {
+	wg    sync.WaitGroup
+	panMu sync.Mutex
+	pan   *TaskPanic
+}
+
+// capture records the first panic observed across the group's parts.
+func (g *doGroup) capture(part int, v any) {
+	tp := &TaskPanic{Part: part, Value: v, Stack: debug.Stack()}
+	g.panMu.Lock()
+	if g.pan == nil {
+		g.pan = tp
+	}
+	g.panMu.Unlock()
+}
+
+// rethrow re-raises the first captured panic, if any, on the caller.
+func (g *doGroup) rethrow() {
+	g.panMu.Lock()
+	tp := g.pan
+	g.panMu.Unlock()
+	if tp != nil {
+		panic(tp)
+	}
+}
+
+// TaskPanic is the value Pool.Do panics with when one of its parts panicked:
+// the original panic value plus the stack captured at the point of the panic,
+// so the fault's origin survives the hop from the worker goroutine to the Do
+// caller. Callers that recover from Do may unwrap Value to inspect the
+// original panic.
+type TaskPanic struct {
+	Part  int    // which part panicked
+	Value any    // the original panic value
+	Stack []byte // debug.Stack() captured inside the panicking task
+}
+
+func (p *TaskPanic) Error() string {
+	return fmt.Sprintf("core: pool task (part %d) panicked: %v\ntask stack:\n%s", p.Part, p.Value, p.Stack)
+}
+
+// Unwrap exposes the original panic value when it was an error, so
+// errors.Is/As see through the containment wrapper.
+func (p *TaskPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
 }
 
 // NewPool starts a pool of `workers` persistent goroutines (minimum 1).
-// Pools are never torn down: they are created once per process (or test) and
-// their workers park between calls.
+// The shared pool is never torn down; private pools (tests, short-lived
+// services) may release their workers with Close.
 //
 // The task channel is deliberately unbuffered: a successful send means a
 // parked worker has taken the task and will run it. A buffered channel could
@@ -38,6 +105,8 @@ func NewPool(workers int) *Pool {
 		workers = 1
 	}
 	p := &Pool{tasks: make(chan poolTask), size: workers}
+	p.alive.Add(int64(workers))
+	p.workerWG.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
 	}
@@ -45,39 +114,77 @@ func NewPool(workers int) *Pool {
 }
 
 func (p *Pool) worker() {
+	defer func() {
+		p.alive.Add(-1)
+		p.workerWG.Done()
+	}()
 	for t := range p.tasks {
-		t.fn(t.part)
-		t.wg.Done()
+		t.run()
 	}
+}
+
+// run executes one task part, containing any panic: the group's WaitGroup is
+// always released and the panic (if any) is parked in the group for Do to
+// re-raise, so the worker goroutine survives.
+func (t poolTask) run() {
+	defer t.g.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			t.g.capture(t.part, r)
+		}
+	}()
+	t.fn(t.part)
 }
 
 // Size returns the number of persistent workers.
 func (p *Pool) Size() int { return p.size }
+
+// Alive returns the number of live worker goroutines. It equals Size for the
+// pool's whole life (recovered task panics do not kill workers) and drops to
+// zero after Close — the property leak-checked tests assert.
+func (p *Pool) Alive() int { return int(p.alive.Load()) }
+
+// Close stops the pool's workers and blocks until every one has exited.
+// Close is idempotent. It must not be called while a Do is in flight, and Do
+// must not be called after Close; the shared pool is never closed.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		close(p.tasks)
+		p.workerWG.Wait()
+	})
+}
 
 // Do runs fn(0), fn(1), ..., fn(parts-1) and returns when all calls have
 // completed. Part 0 always runs on the calling goroutine; the rest are handed
 // to parked pool workers. When no worker is free (another query in flight, or
 // a nested Do from inside a part), surplus parts run inline on the caller
 // instead of blocking, so Do can never deadlock.
+//
+// If any part panics, every other part still runs to completion and Do then
+// panics with a *TaskPanic wrapping the first captured panic value and its
+// original stack. The pool itself is unaffected: no worker dies, and the pool
+// remains usable for subsequent calls.
 func (p *Pool) Do(parts int, fn func(part int)) {
-	if parts <= 1 {
-		if parts == 1 {
-			fn(0)
-		}
+	if parts <= 0 {
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(parts - 1)
-	for i := 1; i < parts; i++ {
-		select {
-		case p.tasks <- poolTask{fn, i, &wg}:
-		default:
-			fn(i)
-			wg.Done()
+	var g doGroup
+	if parts > 1 {
+		g.wg.Add(parts - 1)
+		for i := 1; i < parts; i++ {
+			select {
+			case p.tasks <- poolTask{fn, i, &g}:
+			default:
+				poolTask{fn, i, &g}.run()
+			}
 		}
 	}
-	fn(0)
-	wg.Wait()
+	// Part 0 runs on the caller, with the same containment as pooled parts so
+	// the in-flight workers are always awaited before any panic propagates.
+	g.wg.Add(1)
+	poolTask{fn, 0, &g}.run()
+	g.wg.Wait()
+	g.rethrow()
 }
 
 var (
@@ -88,7 +195,7 @@ var (
 // SharedPool returns the process-wide worker pool, sized to GOMAXPROCS and
 // created on first use. Every parallel intersection path — the *Parallel
 // functions here and the triangle-counting drivers in internal/graph — runs
-// on this pool unless handed a private one.
+// on this pool unless handed a private one. The shared pool is never closed.
 func SharedPool() *Pool {
 	sharedPoolOnce.Do(func() {
 		sharedPool = NewPool(runtime.GOMAXPROCS(0))

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync/atomic"
 	"testing"
 )
@@ -55,5 +56,122 @@ func TestPoolSize(t *testing.T) {
 	}
 	if SharedPool() == nil || SharedPool() != SharedPool() {
 		t.Fatal("SharedPool must return one stable pool")
+	}
+}
+
+// doRecover runs p.Do and returns the recovered panic value (nil if none).
+func doRecover(p *Pool, parts int, fn func(part int)) (rec any) {
+	defer func() { rec = recover() }()
+	p.Do(parts, fn)
+	return nil
+}
+
+// TestPoolDoPanicReraised: a panicking part must surface on the Do caller as
+// a *TaskPanic carrying the original value and stack, after every other part
+// has completed.
+func TestPoolDoPanicReraised(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var ran atomic.Int32
+	rec := doRecover(p, 8, func(part int) {
+		if part == 5 {
+			panic("boom-5")
+		}
+		ran.Add(1)
+	})
+	tp, ok := rec.(*TaskPanic)
+	if !ok {
+		t.Fatalf("Do re-raised %T (%v), want *TaskPanic", rec, rec)
+	}
+	if tp.Value != "boom-5" || tp.Part != 5 {
+		t.Fatalf("TaskPanic = part %d value %v, want part 5 value boom-5", tp.Part, tp.Value)
+	}
+	if len(tp.Stack) == 0 {
+		t.Fatal("TaskPanic carries no stack")
+	}
+	if got := ran.Load(); got != 7 {
+		t.Fatalf("only %d of 7 non-panicking parts ran", got)
+	}
+}
+
+// TestPoolDoPanicOnCallerPart: part 0 runs inline on the caller; its panic
+// must get the same containment so pooled parts are never stranded.
+func TestPoolDoPanicOnCallerPart(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var ran atomic.Int32
+	rec := doRecover(p, 4, func(part int) {
+		if part == 0 {
+			panic("boom-0")
+		}
+		ran.Add(1)
+	})
+	tp, ok := rec.(*TaskPanic)
+	if !ok || tp.Value != "boom-0" {
+		t.Fatalf("Do re-raised %v, want TaskPanic(boom-0)", rec)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("only %d of 3 other parts ran", got)
+	}
+}
+
+// TestPoolSizeUnchangedAfterPanic is the regression test for the seed bug
+// where a task panic killed its worker goroutine, permanently shrinking the
+// shared pool: after a recovered panic the pool's effective size must be
+// unchanged and every part of later calls must still run.
+func TestPoolSizeUnchangedAfterPanic(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for round := 0; round < 3; round++ {
+		if rec := doRecover(p, 8, func(part int) {
+			if part%2 == 1 {
+				panic(part) // several parts panic at once
+			}
+		}); rec == nil {
+			t.Fatal("panicking Do did not re-raise")
+		}
+		if got := p.Alive(); got != p.Size() {
+			t.Fatalf("round %d: %d live workers after recovered panic, want %d", round, got, p.Size())
+		}
+	}
+	var total atomic.Int64
+	p.Do(64, func(part int) { total.Add(1) })
+	if got := total.Load(); got != 64 {
+		t.Fatalf("post-panic Do ran %d of 64 parts", got)
+	}
+}
+
+// TestPoolTaskPanicUnwrap: when the panic value is an error, errors.As must
+// see through the containment wrapper.
+func TestPoolTaskPanicUnwrap(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	sentinel := errors.New("sentinel")
+	rec := doRecover(p, 2, func(part int) {
+		if part == 1 {
+			panic(sentinel)
+		}
+	})
+	tp, ok := rec.(*TaskPanic)
+	if !ok {
+		t.Fatalf("recovered %T, want *TaskPanic", rec)
+	}
+	if !errors.Is(tp, sentinel) {
+		t.Fatal("errors.Is does not reach the original error panic value")
+	}
+}
+
+// TestPoolClose: Close must release every worker goroutine (leak-checked via
+// the alive counter) and be idempotent.
+func TestPoolClose(t *testing.T) {
+	p := NewPool(5)
+	p.Do(10, func(part int) {})
+	if got := p.Alive(); got != 5 {
+		t.Fatalf("Alive() = %d before Close, want 5", got)
+	}
+	p.Close()
+	p.Close() // idempotent
+	if got := p.Alive(); got != 0 {
+		t.Fatalf("Alive() = %d after Close, want 0", got)
 	}
 }

@@ -4,8 +4,11 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
+	"math/bits"
+	"slices"
 
 	"fesia/internal/bitmap"
 	"fesia/internal/hashutil"
@@ -14,47 +17,105 @@ import (
 
 // Serialization of a Set, so the offline construction phase (Section VII-A:
 // "the data structure of our approach is built offline") can be paid once
-// and the structure shipped to query servers. The format is a fixed-layout
-// little-endian stream:
+// and the structure shipped to query servers. Snapshots travel through
+// object stores and disks the query servers do not control, so the v2 format
+// treats the stream as untrusted: every section carries a CRC32C checksum and
+// the reader re-validates every structural invariant, turning bit rot into a
+// load-time error instead of silent result corruption.
 //
-//	magic "FESIA1\x00\x00" (8 bytes)
+// v2 ("FESIA2") is a fixed-layout little-endian stream:
+//
+//	magic "FESIA2\x00\x00" (8 bytes)
 //	config: width, segBits, stride (uint32 each), scale (float64), seed (uint64)
 //	n (uint64), mBits (uint64)
-//	bitmap words  (mBits/64 × uint64)
-//	offsets       (nseg+1 × uint32)
-//	reordered     (n × uint32)
+//	header CRC32C (uint32, covering magic + config + n + mBits)
+//	bitmap words  (mBits/64 × uint64), then their CRC32C (uint32)
+//	offsets       (nseg+1 × uint32), then their CRC32C (uint32)
+//	reordered     (n × uint32), then their CRC32C (uint32)
 //
-// sizes are rederived from offsets; maxSeg is recomputed on load.
+// sizes are rederived from offsets; maxSeg is recomputed on load. The v1
+// format ("FESIA1") is the same minus the four checksums; ReadSet accepts
+// both, WriteTo emits v2.
 
-var setMagic = [8]byte{'F', 'E', 'S', 'I', 'A', '1', 0, 0}
+var (
+	setMagicV1 = [8]byte{'F', 'E', 'S', 'I', 'A', '1', 0, 0}
+	setMagicV2 = [8]byte{'F', 'E', 'S', 'I', 'A', '2', 0, 0}
+)
 
-// WriteTo serializes the set. It implements io.WriterTo.
+// castagnoli is the CRC32C polynomial table — the checksum of iSCSI, ext4
+// and most storage formats, with hardware support on modern CPUs.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcWriter counts bytes and accumulates a running CRC32C over everything
+// written through it. EmitCRC appends the current section digest (bypassing
+// the accumulator) and resets it for the next section.
+type crcWriter struct {
+	w   io.Writer
+	n   int64
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// emitCRC writes the running section checksum and resets it.
+func (c *crcWriter) emitCRC() error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], c.crc)
+	n, err := c.w.Write(b[:])
+	c.n += int64(n)
+	c.crc = 0
+	return err
+}
+
+// crcReader accumulates a running CRC32C over everything read through it.
+// checkCRC reads a stored section checksum (bypassing the accumulator),
+// compares it against the running digest, and resets for the next section.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, castagnoli, p[:n])
+	return n, err
+}
+
+func (c *crcReader) checkCRC(section string) error {
+	computed := c.crc
+	var b [4]byte
+	if _, err := io.ReadFull(c.r, b[:]); err != nil {
+		return fmt.Errorf("core: reading %s checksum: %w", section, noEOF(err))
+	}
+	stored := binary.LittleEndian.Uint32(b[:])
+	c.crc = 0
+	if stored != computed {
+		return fmt.Errorf("core: %s checksum mismatch (stored %08x, computed %08x)",
+			section, stored, computed)
+	}
+	return nil
+}
+
+// noEOF upgrades a bare io.EOF to io.ErrUnexpectedEOF: mid-stream EOF always
+// means truncation here, never a clean end.
+func noEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// WriteTo serializes the set in the v2 checksummed format. It implements
+// io.WriterTo.
 func (s *Set) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
-	cw := &countWriter{w: bw}
-	write := func(v interface{}) error {
-		return binary.Write(cw, binary.LittleEndian, v)
-	}
-	if _, err := cw.Write(setMagic[:]); err != nil {
-		return cw.n, err
-	}
-	hdr := []interface{}{
-		uint32(s.cfg.Width), uint32(s.cfg.SegBits), uint32(s.cfg.Stride),
-		math.Float64bits(s.cfg.Scale), s.cfg.Seed,
-		uint64(s.n), s.bm.Bits(),
-	}
-	for _, v := range hdr {
-		if err := write(v); err != nil {
-			return cw.n, err
-		}
-	}
-	if err := write(s.bm.Words()); err != nil {
-		return cw.n, err
-	}
-	if err := write(s.offsets); err != nil {
-		return cw.n, err
-	}
-	if err := write(s.reordered); err != nil {
+	cw := &crcWriter{w: bw}
+	if err := writeSetBody(cw, s, true); err != nil {
 		return cw.n, err
 	}
 	if err := bw.Flush(); err != nil {
@@ -63,15 +124,60 @@ func (s *Set) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-type countWriter struct {
-	w io.Writer
-	n int64
+// writeSetBody writes one set's stream — v2 with section checksums when
+// withCRC is set, the legacy v1 layout otherwise (kept so tests can produce
+// v1 streams the reader must keep accepting).
+func writeSetBody(cw *crcWriter, s *Set, withCRC bool) error {
+	write := func(v interface{}) error {
+		return binary.Write(cw, binary.LittleEndian, v)
+	}
+	magic := setMagicV1
+	if withCRC {
+		magic = setMagicV2
+	}
+	if _, err := cw.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := []interface{}{
+		uint32(s.cfg.Width), uint32(s.cfg.SegBits), uint32(s.cfg.Stride),
+		math.Float64bits(s.cfg.Scale), s.cfg.Seed,
+		uint64(s.n), s.bm.Bits(),
+	}
+	for _, v := range hdr {
+		if err := write(v); err != nil {
+			return err
+		}
+	}
+	if withCRC {
+		if err := cw.emitCRC(); err != nil {
+			return err
+		}
+	}
+	for _, section := range []interface{}{s.bm.Words(), s.offsets, s.reordered} {
+		if err := write(section); err != nil {
+			return err
+		}
+		if withCRC {
+			if err := cw.emitCRC(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
-func (c *countWriter) Write(p []byte) (int, error) {
-	n, err := c.w.Write(p)
-	c.n += int64(n)
-	return n, err
+// writeSetV1 writes the legacy unchecksummed v1 stream, for the
+// backward-compatibility tests.
+func writeSetV1(w io.Writer, s *Set) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	if err := writeSetBody(cw, s, false); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
 }
 
 // readChunkElems bounds how many array elements are decoded per read, so a
@@ -107,73 +213,155 @@ func readU32s(r io.Reader, count int) ([]uint32, error) {
 	return out, nil
 }
 
-// ReadSet deserializes a Set written by WriteTo, validating the header and
-// structural invariants (a corrupted stream yields an error, not a panic).
-func ReadSet(r io.Reader) (*Set, error) {
-	br := bufio.NewReader(r)
-	var magic [8]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("core: reading magic: %w", err)
+// readU32sInto fills dst from the stream in bounded chunks (the arena-backed
+// corpus reader's variant of readU32s).
+func readU32sInto(r io.Reader, dst []uint32) error {
+	for len(dst) > 0 {
+		c := min(len(dst), readChunkElems)
+		if err := binary.Read(r, binary.LittleEndian, dst[:c]); err != nil {
+			return err
+		}
+		dst = dst[c:]
 	}
-	if magic != setMagic {
-		return nil, fmt.Errorf("core: bad magic %q", magic[:])
+	return nil
+}
+
+// readU64sInto fills dst from the stream in bounded chunks.
+func readU64sInto(r io.Reader, dst []uint64) error {
+	for len(dst) > 0 {
+		c := min(len(dst), readChunkElems)
+		if err := binary.Read(r, binary.LittleEndian, dst[:c]); err != nil {
+			return err
+		}
+		dst = dst[c:]
 	}
+	return nil
+}
+
+// maxReasonable bounds header-declared sizes: anything above it is treated
+// as corruption rather than attempted.
+const maxReasonable = 1 << 40
+
+// readSetHeader decodes and sanity-checks the post-magic header fields.
+func readSetHeader(r io.Reader) (cfg Config, n int, mBits uint64, err error) {
 	var width, segBits, stride uint32
-	var scaleBits, seed, n64, mBits uint64
-	for _, v := range []interface{}{&width, &segBits, &stride, &scaleBits, &seed, &n64, &mBits} {
-		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
-			return nil, fmt.Errorf("core: reading header: %w", err)
+	var scaleBits, seed, n64, m64 uint64
+	for _, v := range []interface{}{&width, &segBits, &stride, &scaleBits, &seed, &n64, &m64} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return cfg, 0, 0, fmt.Errorf("core: reading header: %w", noEOF(err))
 		}
 	}
-	cfg := Config{
+	cfg = Config{
 		Width:   simd.Width(width),
 		SegBits: int(segBits),
 		Scale:   math.Float64frombits(scaleBits),
 		Seed:    seed,
 		Stride:  int(stride),
 	}
-	cfg, err := cfg.normalize()
+	cfg, err = cfg.normalize()
 	if err != nil {
-		return nil, fmt.Errorf("core: invalid serialized config: %w", err)
+		return cfg, 0, 0, fmt.Errorf("core: invalid serialized config: %w", err)
 	}
-	const maxReasonable = 1 << 40
-	if !hashutil.IsPow2(mBits) || mBits < 64 || mBits > maxReasonable {
-		return nil, fmt.Errorf("core: invalid bitmap size %d", mBits)
+	if !hashutil.IsPow2(m64) || m64 < 64 || m64 > maxReasonable {
+		return cfg, 0, 0, fmt.Errorf("core: invalid bitmap size %d", m64)
 	}
 	if n64 > maxReasonable {
-		return nil, fmt.Errorf("core: implausible set size %d", n64)
+		return cfg, 0, 0, fmt.Errorf("core: implausible set size %d", n64)
 	}
-	n := int(n64)
+	return cfg, int(n64), m64, nil
+}
+
+// ReadSet deserializes a Set written by WriteTo, validating checksums (v2),
+// the header, and every structural invariant — a corrupted or truncated
+// stream yields an error, never a panic or a silently wrong set. Both the v2
+// checksummed format and the legacy v1 format are accepted.
+func ReadSet(r io.Reader) (*Set, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: reading magic: %w", noEOF(err))
+	}
+	var src io.Reader = br
+	var cr *crcReader
+	switch magic {
+	case setMagicV1:
+		// Legacy stream: no checksums, structural validation only.
+	case setMagicV2:
+		cr = &crcReader{r: br, crc: crc32.Update(0, castagnoli, magic[:])}
+		src = cr
+	default:
+		return nil, fmt.Errorf("core: bad magic %q", magic[:])
+	}
+	cfg, n, mBits, err := readSetHeader(src)
+	if err != nil {
+		return nil, err
+	}
+	if cr != nil {
+		if err := cr.checkCRC("header"); err != nil {
+			return nil, err
+		}
+	}
 	nseg := int(mBits) / cfg.SegBits
 
 	// Payload arrays are read in bounded chunks so a forged header cannot
 	// trigger a huge allocation before the (short) stream runs out.
-	words, err := readU64s(br, int(mBits)/64)
+	words, err := readU64s(src, int(mBits)/64)
 	if err != nil {
-		return nil, fmt.Errorf("core: reading bitmap: %w", err)
+		return nil, fmt.Errorf("core: reading bitmap: %w", noEOF(err))
 	}
-	offsets, err := readU32s(br, nseg+1)
-	if err != nil {
-		return nil, fmt.Errorf("core: reading offsets: %w", err)
+	if cr != nil {
+		if err := cr.checkCRC("bitmap"); err != nil {
+			return nil, err
+		}
 	}
-	reordered, err := readU32s(br, n)
+	offsets, err := readU32s(src, nseg+1)
 	if err != nil {
-		return nil, fmt.Errorf("core: reading elements: %w", err)
+		return nil, fmt.Errorf("core: reading offsets: %w", noEOF(err))
+	}
+	if cr != nil {
+		if err := cr.checkCRC("offsets"); err != nil {
+			return nil, err
+		}
+	}
+	reordered, err := readU32s(src, n)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading elements: %w", noEOF(err))
+	}
+	if cr != nil {
+		if err := cr.checkCRC("elements"); err != nil {
+			return nil, err
+		}
 	}
 	s := newShell(cfg, bitmap.New(mBits, cfg.SegBits), make([]uint32, nseg), offsets, reordered)
 	copy(s.bm.Words(), words)
+	if err := validateShell(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// validateShell checks every structural invariant of a deserialized shell
+// (offsets monotone and bounded, segments sorted, every element's hash bit
+// set in its own segment, and — bit for bit — the bitmap derivable from the
+// elements), filling in sizes and maxSeg as it walks. It is shared by
+// ReadSet and ReadCorpus.
+func validateShell(s *Set) error {
+	n := s.n
+	nseg := s.bm.NumSegments()
+	mBits := s.bm.Bits()
 
 	// Validate the whole offset array before any slicing, then rederive
 	// sizes/maxSeg segment by segment.
 	if s.offsets[0] != 0 || s.offsets[nseg] != uint32(n) {
-		return nil, fmt.Errorf("core: offset bounds corrupt (first=%d last=%d n=%d)",
+		return fmt.Errorf("core: offset bounds corrupt (first=%d last=%d n=%d)",
 			s.offsets[0], s.offsets[nseg], n)
 	}
 	for i := 0; i < nseg; i++ {
 		if s.offsets[i] > s.offsets[i+1] || s.offsets[i+1] > uint32(n) {
-			return nil, fmt.Errorf("core: offsets corrupt at segment %d", i)
+			return fmt.Errorf("core: offsets corrupt at segment %d", i)
 		}
 	}
+	var posScratch []uint64
 	for i := 0; i < nseg; i++ {
 		size := s.offsets[i+1] - s.offsets[i]
 		s.sizes[i] = size
@@ -181,19 +369,47 @@ func ReadSet(r io.Reader) (*Set, error) {
 			s.maxSeg = int(size)
 		}
 		lst := s.reordered[s.offsets[i]:s.offsets[i+1]]
+		posScratch = posScratch[:0]
 		for j, v := range lst {
 			if j > 0 && lst[j-1] >= v {
-				return nil, fmt.Errorf("core: segment %d not strictly ascending", i)
+				return fmt.Errorf("core: segment %d not strictly ascending", i)
 			}
 			pos := s.hasher.Pos(v, mBits)
 			if s.bm.SegmentOf(pos) != i {
-				return nil, fmt.Errorf("core: element %d stored in segment %d, hashes to %d",
+				return fmt.Errorf("core: element %d stored in segment %d, hashes to %d",
 					v, i, s.bm.SegmentOf(pos))
 			}
 			if !s.bm.Test(pos) {
-				return nil, fmt.Errorf("core: bitmap bit missing for element %d", v)
+				return fmt.Errorf("core: bitmap bit missing for element %d", v)
+			}
+			posScratch = append(posScratch, pos)
+		}
+		// The reverse direction: every set bit of the segment must be backed
+		// by at least one element hashing onto it. Element→bit alone lets a
+		// flipped payload byte smuggle in stray set bits; comparing the
+		// segment's popcount against its distinct element hash positions
+		// rejects them.
+		slices.Sort(posScratch)
+		distinct := 0
+		for j, p := range posScratch {
+			if j == 0 || p != posScratch[j-1] {
+				distinct++
 			}
 		}
+		if pop := segmentPopcount(s.bm, i); pop != distinct {
+			return fmt.Errorf("core: segment %d has %d set bits but %d element hash positions (stray or missing bits)",
+				i, pop, distinct)
+		}
 	}
-	return s, nil
+	return nil
+}
+
+// segmentPopcount counts the set bits of one segment. Segments never
+// straddle words (segBits divides 64).
+func segmentPopcount(bm *bitmap.Bitmap, seg int) int {
+	segBits := bm.SegBits()
+	bit := seg * segBits
+	w := bm.Words()[bit/64]
+	mask := uint64(1)<<uint(segBits) - 1
+	return bits.OnesCount64(w >> uint(bit%64) & mask)
 }

@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 
 	"fesia/internal/simd"
+	"fesia/internal/testutil"
 )
 
 func roundTrip(t *testing.T, s *Set) *Set {
@@ -152,6 +154,124 @@ func TestWriteToErrors(t *testing.T) {
 	for _, limit := range []int{0, 4, 40, 2000, full.Len() - 10} {
 		if _, err := s.WriteTo(&errWriter{left: limit}); err == nil {
 			t.Errorf("WriteTo with %d-byte sink should fail", limit)
+		}
+	}
+}
+
+// TestReadSetAcceptsV1 pins backward compatibility: streams written by the
+// pre-checksum v1 format must keep loading, and the loaded set must be
+// indistinguishable from a v2 round trip.
+func TestReadSetAcceptsV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for _, n := range []int{0, 1, 300, 4000} {
+		orig := MustNewSet(randSet(rng, n, 1<<18), DefaultConfig())
+		var buf bytes.Buffer
+		if _, err := writeSetV1(&buf, orig); err != nil {
+			t.Fatalf("writeSetV1: %v", err)
+		}
+		got, err := ReadSet(&buf)
+		if err != nil {
+			t.Fatalf("ReadSet(v1, n=%d): %v", n, err)
+		}
+		if got.Len() != orig.Len() || CountMerge(got, orig) != orig.Len() {
+			t.Fatalf("v1 round trip changed the set (n=%d)", n)
+		}
+	}
+}
+
+// TestReadSetRejectsStrayBits is the regression test for the bitmap/element
+// consistency hole: a v1 stream (no checksums to defeat) with an extra set
+// bit that no element hashes to must be rejected, not loaded into a set
+// whose bitmap disagrees with its element lists.
+func TestReadSetRejectsStrayBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	orig := MustNewSet(randSet(rng, 60, 1<<12), DefaultConfig())
+	var buf bytes.Buffer
+	if _, err := writeSetV1(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// v1 layout: magic(8) + header(44), then bitmap words.
+	wordsOff := 8 + 44
+	wordsLen := int(orig.BitmapBits() / 8)
+	planted := false
+	for off := wordsOff; off < wordsOff+wordsLen; off++ {
+		if data[off] == 0 {
+			data[off] = 1
+			planted = true
+			break
+		}
+	}
+	if !planted {
+		t.Fatal("fixture bitmap has no zero byte to plant a stray bit in")
+	}
+	if _, err := ReadSet(bytes.NewReader(data)); err == nil {
+		t.Fatal("stray set bit accepted")
+	}
+}
+
+// TestReadSetDetectsAllTruncations: a v2 snapshot cut at every offset must
+// fail to load.
+func TestReadSetDetectsAllTruncations(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	s := MustNewSet(randSet(rng, 120, 1<<13), DefaultConfig())
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	testutil.ForEachTruncation(buf.Bytes(), func(n int, trunc []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ReadSet panicked on %d-byte truncation: %v", n, r)
+			}
+		}()
+		if _, err := ReadSet(bytes.NewReader(trunc)); err == nil {
+			t.Fatalf("truncation to %d of %d bytes loaded successfully", n, buf.Len())
+		}
+	})
+}
+
+// TestReadSetDetectsAllByteFlips: flipping any single byte of a v2 snapshot
+// must fail the load — the per-section CRC32C guarantees 100% single-byte
+// detection (v1 had none; see TestReadSetRejectsCorruption's weaker
+// "error or structurally sound" contract).
+func TestReadSetDetectsAllByteFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	s := MustNewSet(randSet(rng, 120, 1<<13), DefaultConfig())
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	testutil.ForEachByteFlip(buf.Bytes(), func(pos int, corrupted []byte) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("ReadSet panicked on flip at byte %d: %v", pos, r)
+			}
+		}()
+		if _, err := ReadSet(bytes.NewReader(corrupted)); err == nil {
+			t.Fatalf("flip at byte %d of %d loaded successfully", pos, buf.Len())
+		}
+	})
+}
+
+// TestReadSetFaultyMedia: mid-stream read failures surface the underlying
+// error rather than a panic or a partial set.
+func TestReadSetFaultyMedia(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	s := MustNewSet(randSet(rng, 200, 1<<13), DefaultConfig())
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for failAt := 0; failAt < len(data); failAt += 5 {
+		if _, err := ReadSet(&testutil.FlakyReader{R: bytes.NewReader(data), FailAt: failAt}); err == nil {
+			t.Fatalf("read failing after %d bytes loaded successfully", failAt)
+		}
+	}
+	for failAt := 0; failAt < len(data); failAt += 5 {
+		if _, err := s.WriteTo(&testutil.FailingWriter{FailAt: failAt}); !errors.Is(err, testutil.ErrInjected) {
+			t.Fatalf("write failing after %d bytes: err = %v, want ErrInjected", failAt, err)
 		}
 	}
 }

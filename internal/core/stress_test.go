@@ -1,0 +1,113 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStressSharedPoolChaos is the serving-core chaos test, designed to run
+// under -race: several goroutines issue overlapping CountManyParallelCtx
+// batches through executors sharing ONE private pool, while other goroutines
+// randomly cancel their queries mid-flight and inject panicking tasks into
+// the same pool. Invariants checked throughout:
+//
+//   - uncancelled queries return exactly the sequential CountMany answer;
+//   - cancelled queries return ctx.Err(), never a wrong success;
+//   - injected panics resurface only on their own Do caller, as *TaskPanic;
+//   - the pool never shrinks: every worker survives every panic.
+func TestStressSharedPoolChaos(t *testing.T) {
+	q, cands := batchFixture(t, 91, 96)
+	want := make([]int, len(cands))
+	CountMany(q, cands, want)
+
+	pool := NewPool(8)
+	defer pool.Close()
+
+	const (
+		queryGoroutines = 6
+		panicGoroutines = 2
+		iterations      = 40
+	)
+	var wg sync.WaitGroup
+
+	for g := 0; g < queryGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			e := NewExecutorWithPool(pool)
+			out := make([]int, len(cands))
+			for it := 0; it < iterations; it++ {
+				workers := 1 + rng.Intn(4)
+				if rng.Intn(2) == 0 {
+					// Uncancelled: the answer must be exact.
+					if err := e.CountManyParallelCtx(context.Background(), q, cands, out, workers); err != nil {
+						t.Errorf("goroutine %d it %d: uncancelled batch failed: %v", g, it, err)
+						return
+					}
+					if !slices.Equal(out, want) {
+						t.Errorf("goroutine %d it %d: wrong counts under contention", g, it)
+						return
+					}
+				} else {
+					// Cancelled mid-flight: correct-or-cancelled, never wrong.
+					ctx, cancel := context.WithCancel(context.Background())
+					delay := time.Duration(rng.Intn(200)) * time.Microsecond
+					go func() {
+						time.Sleep(delay)
+						cancel()
+					}()
+					err := e.CountManyParallelCtx(ctx, q, cands, out, workers)
+					cancel()
+					if err == nil {
+						if !slices.Equal(out, want) {
+							t.Errorf("goroutine %d it %d: batch claimed success with wrong counts", g, it)
+							return
+						}
+					} else if !errors.Is(err, context.Canceled) {
+						t.Errorf("goroutine %d it %d: err = %v, want Canceled", g, it, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+
+	for g := 0; g < panicGoroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iterations; it++ {
+				rec := doRecover(pool, 5, func(part int) {
+					if part == it%5 {
+						panic("chaos")
+					}
+				})
+				tp, ok := rec.(*TaskPanic)
+				if !ok || tp.Value != "chaos" {
+					t.Errorf("panic goroutine %d it %d: got %v, want TaskPanic(chaos)", g, it, rec)
+					return
+				}
+			}
+		}(g)
+	}
+
+	wg.Wait()
+	if pool.Alive() != pool.Size() {
+		t.Fatalf("pool shrank under chaos: %d of %d workers alive", pool.Alive(), pool.Size())
+	}
+	// The pool still does real work after the chaos.
+	e := NewExecutorWithPool(pool)
+	out := make([]int, len(cands))
+	if err := e.CountManyParallelCtx(context.Background(), q, cands, out, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(out, want) {
+		t.Fatal("pool produces wrong results after chaos")
+	}
+}

@@ -9,6 +9,7 @@
 package invindex
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sync"
@@ -104,6 +105,40 @@ func (ix *Index) QueryCountExec(ex *core.Executor, items ...uint32) int {
 		return ex.Count(sets[0], sets[1])
 	default:
 		return ex.CountK(sets...)
+	}
+}
+
+// QueryCountCtx is QueryCount with cooperative cancellation: a serving
+// front-end can bound conjunctive queries by request deadline. On
+// cancellation it returns (0, ctx.Err()).
+func (ix *Index) QueryCountCtx(ctx context.Context, items ...uint32) (int, error) {
+	ex := execPool.Get().(*core.Executor)
+	defer execPool.Put(ex)
+	return ix.QueryCountExecCtx(ctx, ex, items...)
+}
+
+// QueryCountExecCtx is QueryCountCtx running on a caller-owned executor.
+func (ix *Index) QueryCountExecCtx(ctx context.Context, ex *core.Executor, items ...uint32) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	sets := make([]*core.Set, len(items))
+	for i, it := range items {
+		s, ok := ix.sets[it]
+		if !ok {
+			return 0, nil
+		}
+		sets[i] = s
+	}
+	switch len(sets) {
+	case 0:
+		return 0, nil
+	case 1:
+		return sets[0].Len(), nil
+	case 2:
+		return ex.CountCtx(ctx, sets[0], sets[1])
+	default:
+		return ex.CountKCtx(ctx, sets...)
 	}
 }
 

@@ -1,6 +1,8 @@
 package invindex
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -139,5 +141,40 @@ func TestQueryEdgeCases(t *testing.T) {
 	}
 	if got := ix.Query(anyItem); len(got) != len(c.Postings[anyItem]) {
 		t.Error("single-keyword query should return the posting list")
+	}
+}
+
+func TestQueryCountCtx(t *testing.T) {
+	c := testCorpus(t)
+	ix, err := FromCorpus(c, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(31))
+	ctx := context.Background()
+	for _, q := range c.SampleQueries(rng, 6, 2, 50, 1.0, 0) {
+		want := ix.QueryCount(q.Items...)
+		got, err := ix.QueryCountCtx(ctx, q.Items...)
+		if err != nil || got != want {
+			t.Fatalf("QueryCountCtx(%v) = %d, %v; want %d", q.Items, got, err, want)
+		}
+	}
+	for _, q := range c.SampleQueries(rng, 3, 3, 200, 1.0, 0) {
+		want := ix.QueryCount(q.Items...)
+		got, err := ix.QueryCountCtx(ctx, q.Items...)
+		if err != nil || got != want {
+			t.Fatalf("3-way QueryCountCtx(%v) = %d, %v; want %d", q.Items, got, err, want)
+		}
+	}
+	// Unknown items are a zero count, not an error.
+	if got, err := ix.QueryCountCtx(ctx, 1<<31); got != 0 || err != nil {
+		t.Fatalf("unknown item = %d, %v", got, err)
+	}
+	// A cancelled context fails fast.
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	q := c.SampleQueries(rng, 1, 2, 50, 1.0, 0)[0]
+	if _, err := ix.QueryCountCtx(cancelled, q.Items...); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled query err = %v, want Canceled", err)
 	}
 }

@@ -1,0 +1,118 @@
+// Package testutil provides fault-injection I/O fakes and corruption drivers
+// for exercising the durability layer: short reads, mid-stream failures,
+// truncate-at-every-offset, and flip-every-byte sweeps. Snapshot readers are
+// expected to turn every injected fault into an error — never a panic, hang,
+// or silently wrong result.
+package testutil
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrInjected is the sentinel error produced by the failing fakes, so tests
+// can tell an injected fault apart from a genuine bug via errors.Is.
+var ErrInjected = errors.New("testutil: injected fault")
+
+// ShortReader delivers at most N bytes from R, then reports io.EOF. It models
+// a snapshot whose tail was lost (a crashed copy, a partial download).
+type ShortReader struct {
+	R io.Reader
+	N int
+}
+
+func (s *ShortReader) Read(p []byte) (int, error) {
+	if s.N <= 0 {
+		return 0, io.EOF
+	}
+	if len(p) > s.N {
+		p = p[:s.N]
+	}
+	n, err := s.R.Read(p)
+	s.N -= n
+	return n, err
+}
+
+// FlakyReader delivers FailAt bytes from R, then fails every subsequent read
+// with ErrInjected. It models a medium that dies mid-stream (NFS timeout,
+// yanked disk) rather than ending cleanly.
+type FlakyReader struct {
+	R      io.Reader
+	FailAt int
+}
+
+func (f *FlakyReader) Read(p []byte) (int, error) {
+	if f.FailAt <= 0 {
+		return 0, ErrInjected
+	}
+	if len(p) > f.FailAt {
+		p = p[:f.FailAt]
+	}
+	n, err := f.R.Read(p)
+	f.FailAt -= n
+	return n, err
+}
+
+// FailingWriter accepts FailAt bytes (forwarding them to W when W is non-nil),
+// then fails with ErrInjected. It models a full disk or a dropped connection
+// during snapshot writing.
+type FailingWriter struct {
+	W      io.Writer
+	FailAt int
+}
+
+func (w *FailingWriter) Write(p []byte) (int, error) {
+	if w.FailAt <= 0 {
+		return 0, ErrInjected
+	}
+	take := len(p)
+	if take > w.FailAt {
+		take = w.FailAt
+	}
+	if w.W != nil {
+		if n, err := w.W.Write(p[:take]); err != nil {
+			w.FailAt -= n
+			return n, err
+		}
+	}
+	w.FailAt -= take
+	if take < len(p) {
+		return take, ErrInjected
+	}
+	return take, nil
+}
+
+// ForEachTruncation invokes fn with every strict prefix of data, including the
+// empty prefix. The slice passed to fn has full capacity clipped so appends in
+// the code under test cannot see the suffix.
+func ForEachTruncation(data []byte, fn func(n int, truncated []byte)) {
+	for n := 0; n < len(data); n++ {
+		fn(n, data[:n:n])
+	}
+}
+
+// ForEachByteFlip invokes fn once per byte of data with a copy in which that
+// byte has been inverted. The copy is reused across calls; fn must not retain
+// it.
+func ForEachByteFlip(data []byte, fn func(pos int, corrupted []byte)) {
+	c := make([]byte, len(data))
+	for i := range data {
+		copy(c, data)
+		c[i] ^= 0xFF
+		fn(i, c)
+	}
+}
+
+// ForEachBitFlip is the finer-grained sibling of ForEachByteFlip: it invokes
+// fn once per bit of data with that single bit toggled. Use it on short
+// streams (8x the iterations of the byte sweep).
+func ForEachBitFlip(data []byte, fn func(bytePos, bit int, corrupted []byte)) {
+	c := make([]byte, len(data))
+	for i := range data {
+		for b := 0; b < 8; b++ {
+			copy(c, data)
+			c[i] ^= 1 << b
+			fn(i, b, c)
+		}
+	}
+}

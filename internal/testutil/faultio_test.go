@@ -1,0 +1,101 @@
+package testutil
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestShortReader(t *testing.T) {
+	src := bytes.Repeat([]byte{7}, 100)
+	got, err := io.ReadAll(&ShortReader{R: bytes.NewReader(src), N: 37})
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != 37 {
+		t.Fatalf("ShortReader delivered %d bytes, want 37", len(got))
+	}
+}
+
+func TestFlakyReader(t *testing.T) {
+	src := bytes.Repeat([]byte{9}, 100)
+	r := &FlakyReader{R: bytes.NewReader(src), FailAt: 37}
+	got, err := io.ReadAll(r)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if len(got) != 37 {
+		t.Fatalf("FlakyReader delivered %d bytes before failing, want 37", len(got))
+	}
+}
+
+func TestFailingWriter(t *testing.T) {
+	var sink bytes.Buffer
+	w := &FailingWriter{W: &sink, FailAt: 10}
+	if n, err := w.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("first write = %d, %v", n, err)
+	}
+	if n, err := w.Write([]byte("world!!")); n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("overflowing write = %d, %v; want 5, ErrInjected", n, err)
+	}
+	if _, err := w.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-failure write err = %v, want ErrInjected", err)
+	}
+	if sink.String() != "helloworld" {
+		t.Fatalf("sink holds %q, want the first 10 bytes", sink.String())
+	}
+}
+
+func TestForEachTruncation(t *testing.T) {
+	data := []byte{1, 2, 3, 4}
+	var lens []int
+	ForEachTruncation(data, func(n int, trunc []byte) {
+		if len(trunc) != n {
+			t.Fatalf("prefix %d has length %d", n, len(trunc))
+		}
+		if cap(trunc) != n {
+			t.Fatalf("prefix %d leaks capacity %d", n, cap(trunc))
+		}
+		lens = append(lens, n)
+	})
+	if len(lens) != len(data) {
+		t.Fatalf("visited %d prefixes, want %d", len(lens), len(data))
+	}
+}
+
+func TestForEachByteFlip(t *testing.T) {
+	data := []byte{0x00, 0xFF, 0x5A}
+	seen := 0
+	ForEachByteFlip(data, func(pos int, c []byte) {
+		if bytes.Equal(c, data) {
+			t.Fatalf("flip at %d produced identical data", pos)
+		}
+		if c[pos] != data[pos]^0xFF {
+			t.Fatalf("flip at %d: got %#x, want %#x", pos, c[pos], data[pos]^0xFF)
+		}
+		for i := range data {
+			if i != pos && c[i] != data[i] {
+				t.Fatalf("flip at %d disturbed byte %d", pos, i)
+			}
+		}
+		seen++
+	})
+	if seen != len(data) {
+		t.Fatalf("visited %d flips, want %d", seen, len(data))
+	}
+}
+
+func TestForEachBitFlip(t *testing.T) {
+	data := []byte{0xA5, 0x3C}
+	seen := 0
+	ForEachBitFlip(data, func(bytePos, bit int, c []byte) {
+		if c[bytePos] != data[bytePos]^(1<<bit) {
+			t.Fatalf("bit flip (%d,%d) wrong", bytePos, bit)
+		}
+		seen++
+	})
+	if seen != 8*len(data) {
+		t.Fatalf("visited %d flips, want %d", seen, 8*len(data))
+	}
+}

@@ -1,0 +1,94 @@
+package fesia
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Atomic snapshot files. Set and corpus snapshots are the hand-off artifact
+// between the offline build phase and the query servers; a crash mid-write
+// must never leave a truncated file where a good snapshot used to be. The
+// helpers here write through a temporary file in the destination directory,
+// fsync it, and rename it over the target — readers see either the old
+// complete snapshot or the new complete snapshot, nothing in between.
+
+// WriteFileAtomic writes a file by streaming through `write` into a temporary
+// file in the same directory, fsyncing, and atomically renaming over path.
+// On any error the temporary file is removed and the previous contents of
+// path (if any) are left untouched.
+func WriteFileAtomic(path string, write func(w io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fesia: creating temporary snapshot: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return fmt.Errorf("fesia: writing snapshot: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("fesia: syncing snapshot: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("fesia: closing snapshot: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("fesia: publishing snapshot: %w", err)
+	}
+	return nil
+}
+
+// WriteSetFile atomically writes one set's snapshot to path.
+func WriteSetFile(path string, s *Set) error {
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := s.WriteTo(w)
+		return err
+	})
+}
+
+// ReadSetFile loads a set snapshot written by WriteSetFile.
+func ReadSetFile(path string) (*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fesia: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	s, err := ReadSet(f)
+	if err != nil {
+		return nil, fmt.Errorf("fesia: loading %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// WriteCorpusFile atomically writes a whole-corpus snapshot to path.
+func WriteCorpusFile(path string, sets []*Set) error {
+	return WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := WriteCorpus(w, sets)
+		return err
+	})
+}
+
+// ReadCorpusFile loads a corpus snapshot written by WriteCorpusFile.
+func ReadCorpusFile(path string) ([]*Set, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fesia: opening snapshot: %w", err)
+	}
+	defer f.Close()
+	sets, err := ReadCorpus(f)
+	if err != nil {
+		return nil, fmt.Errorf("fesia: loading %s: %w", path, err)
+	}
+	return sets, nil
+}

@@ -1,0 +1,173 @@
+package fesia
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func randElems(rng *rand.Rand, n int, universe uint32) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = rng.Uint32() % universe
+	}
+	return out
+}
+
+func TestSetFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	dir := t.TempDir()
+	path := filepath.Join(dir, "set.fesia")
+	orig := MustBuild(randElems(rng, 2000, 1<<20))
+	if err := WriteSetFile(path, orig); err != nil {
+		t.Fatalf("WriteSetFile: %v", err)
+	}
+	got, err := ReadSetFile(path)
+	if err != nil {
+		t.Fatalf("ReadSetFile: %v", err)
+	}
+	if got.Len() != orig.Len() || IntersectCount(got, orig) != orig.Len() {
+		t.Fatal("file round trip changed the set")
+	}
+	// No stray temp files after a successful write.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("snapshot dir holds %d entries, want just the snapshot", len(ents))
+	}
+}
+
+func TestCorpusFileRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	path := filepath.Join(t.TempDir(), "corpus.fesia")
+	lists := make([][]uint32, 6)
+	for i := range lists {
+		lists[i] = randElems(rng, 50+rng.Intn(300), 1<<16)
+	}
+	orig, err := BuildBatch(lists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCorpusFile(path, orig); err != nil {
+		t.Fatalf("WriteCorpusFile: %v", err)
+	}
+	got, err := ReadCorpusFile(path)
+	if err != nil {
+		t.Fatalf("ReadCorpusFile: %v", err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("loaded %d sets, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if IntersectCount(got[i], orig[i]) != orig[i].Len() {
+			t.Fatalf("set %d changed across the corpus round trip", i)
+		}
+	}
+}
+
+// TestWriteFileAtomicPreservesOldSnapshot: when the write callback fails, the
+// previous snapshot must survive untouched and no temp litter may remain.
+func TestWriteFileAtomicPreservesOldSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("good snapshot"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("partial gar"))
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "good snapshot" {
+		t.Fatalf("old snapshot clobbered: %q", data)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("failed write left %d entries in dir, want 1", len(ents))
+	}
+}
+
+func TestReadSetFileMissing(t *testing.T) {
+	if _, err := ReadSetFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing snapshot loaded successfully")
+	}
+	if _, err := ReadCorpusFile(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Fatal("missing corpus loaded successfully")
+	}
+}
+
+// TestExecutorCtxAPI exercises the public context-aware mirrors end to end:
+// parity with the plain methods when uncancelled, prompt context.Canceled
+// when pre-cancelled.
+func TestExecutorCtxAPI(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	a := MustBuild(randElems(rng, 3000, 1<<18))
+	b := MustBuild(randElems(rng, 3000, 1<<18))
+	c := MustBuild(randElems(rng, 300, 1<<18))
+	cands := []*Set{a, b, c, a, b, c}
+	e := NewExecutor()
+	ctx := context.Background()
+
+	if n, err := e.IntersectCountCtx(ctx, a, b); err != nil || n != IntersectCount(a, b) {
+		t.Fatalf("IntersectCountCtx = %d, %v; want %d", n, err, IntersectCount(a, b))
+	}
+	if n, err := e.IntersectCountKCtx(ctx, a, b, c); err != nil || n != IntersectCountK(a, b, c) {
+		t.Fatalf("IntersectCountKCtx = %d, %v; want %d", n, err, IntersectCountK(a, b, c))
+	}
+	dst := make([]uint32, min(a.Len(), b.Len()))
+	n, err := e.IntersectIntoCtx(ctx, dst, a, b)
+	if err != nil || n != IntersectCount(a, b) {
+		t.Fatalf("IntersectIntoCtx wrote %d (%v), want %d", n, err, IntersectCount(a, b))
+	}
+	want := make([]int, len(cands))
+	e.IntersectCountMany(c, cands, want)
+	out := make([]int, len(cands))
+	if err := e.IntersectCountManyCtx(ctx, c, cands, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("IntersectCountManyCtx[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+	clear(out)
+	if err := e.IntersectCountManyParallelCtx(ctx, c, cands, out, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("IntersectCountManyParallelCtx[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := e.IntersectCountCtx(cancelled, a, b); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled IntersectCountCtx err = %v", err)
+	}
+	if err := e.IntersectCountManyParallelCtx(cancelled, c, cands, out, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled IntersectCountManyParallelCtx err = %v", err)
+	}
+	// The executor stays usable after cancellation.
+	if got := e.IntersectCount(a, b); got != IntersectCount(a, b) {
+		t.Fatal("executor corrupted by cancelled query")
+	}
+}
