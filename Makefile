@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover check bench benchcheck batchbench ablation fuzz fuzzsmoke kernels experiments examples clean
+.PHONY: all build test race cover check lint bench benchcheck batchbench ablation fuzz fuzzsmoke kernels experiments examples clean
 
 all: build test
 
@@ -14,6 +14,20 @@ check:
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 	$(GO) test -race ./...
+
+# Static analysis only: formatting drift, go vet, and staticcheck when the
+# binary is on PATH (it is optional locally; the CI lint job installs it).
+lint:
+	@fmtout="$$(gofmt -l .)"; \
+	if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
+	fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (CI runs it)"; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -23,9 +23,11 @@ import (
 	"strings"
 	"time"
 
+	"fesia/internal/core"
 	"fesia/internal/datasets"
 	"fesia/internal/experiments"
 	"fesia/internal/simd"
+	"fesia/internal/stats"
 )
 
 type runner struct {
@@ -117,9 +119,15 @@ func main() {
 	batchJSON := flag.Bool("batchjson", false, "benchmark the one-vs-many batch engine and write BENCH_batch.json")
 	snapshot := flag.Bool("snapshot", false, "round-trip a corpus through the checksummed snapshot files and verify")
 	baseline := flag.String("baseline", "", "with -json/-batchjson: fail on >15% ns/op regression vs this baseline file")
+	statsDump := flag.Bool("stats", false, "enable the observability sink and dump the kernel-dispatch histogram after the run")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *statsDump {
+		core.EnableStats(stats.New())
+		defer dumpKernelStats()
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -200,5 +208,56 @@ func main() {
 		}
 		fmt.Println(tbl.String())
 		fmt.Printf("(%s completed in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+}
+
+// dumpKernelStats prints what the observability sink accumulated over the
+// whole run: per-strategy query counts, the selectivity counters, and the
+// kernel-dispatch histogram — the live measurement behind the paper's Table II
+// kernel-usage analysis (see EXPERIMENTS.md). Runs as a deferred step of
+// main when -stats is set.
+func dumpKernelStats() {
+	sink := core.StatsSink()
+	if sink == nil {
+		return
+	}
+	snap := sink.Snapshot()
+	fmt.Printf("\n--- observability dump (-stats) ---\n")
+	fmt.Printf("queries: merge=%d hash=%d kway=%d batch=%d cancelled=%d\n",
+		snap.Counter(stats.CtrQueriesMerge), snap.Counter(stats.CtrQueriesHash),
+		snap.Counter(stats.CtrQueriesKWay), snap.Counter(stats.CtrQueriesBatch),
+		snap.Counter(stats.CtrCancellations))
+	if scanned := snap.Counter(stats.CtrSegmentsScanned); scanned > 0 {
+		fmt.Printf("segment survival: %d pairs / %d scanned (%.4f)\n",
+			snap.Counter(stats.CtrSegPairs), scanned,
+			float64(snap.Counter(stats.CtrSegPairs))/float64(scanned))
+	}
+	if probes := snap.Counter(stats.CtrHashProbes); probes > 0 {
+		fmt.Printf("hash probe survival: %d survivors / %d probes (%.4f)\n",
+			snap.Counter(stats.CtrHashSurvivors), probes,
+			float64(snap.Counter(stats.CtrHashSurvivors))/float64(probes))
+	}
+	if len(snap.Kernels) == 0 {
+		fmt.Println("kernel-dispatch histogram: empty (no merge query was sampled)")
+		return
+	}
+	var total uint64
+	for _, k := range snap.Kernels {
+		total += k.Count
+	}
+	fmt.Printf("kernel-dispatch histogram (sampled 1 in %d merge queries; %d dispatches, %d size pairs):\n",
+		stats.KernelSampleRate, total, len(snap.Kernels))
+	fmt.Printf("  %-18s %12s %7s\n", "kernel", "dispatches", "share")
+	top := snap.Kernels
+	if len(top) > 20 {
+		top = top[:20]
+	}
+	for _, k := range top {
+		fmt.Printf("  %-18s %12d %6.1f%%\n",
+			fmt.Sprintf("Intersect%dx%d", k.SizeA, k.SizeB),
+			k.Count, 100*float64(k.Count)/float64(total))
+	}
+	if rest := len(snap.Kernels) - len(top); rest > 0 {
+		fmt.Printf("  (+%d more size pairs)\n", rest)
 	}
 }

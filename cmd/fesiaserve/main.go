@@ -1,0 +1,230 @@
+// Command fesiaserve is a demo HTTP serving front-end over the inverted-index
+// workload (Section VII-F), wired for live observability: it enables the
+// process-wide stats sink, publishes it on /debug/vars (expvar JSON) and
+// /metrics (Prometheus text format), mounts net/http/pprof, and answers
+// conjunctive keyword queries on /query — optionally with a built-in load
+// generator so the kernel-dispatch and latency histograms can be watched
+// filling up under traffic:
+//
+//	fesiaserve -load 4 &
+//	curl localhost:8080/metrics            # Prometheus text format
+//	curl localhost:8080/debug/vars         # expvar JSON (fesia key)
+//	curl 'localhost:8080/query?items=3,17' # one conjunctive query
+//	go tool pprof localhost:8080/debug/pprof/profile
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	_ "expvar"         // registers /debug/vars on DefaultServeMux
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
+
+	"fesia"
+	"fesia/internal/core"
+	"fesia/internal/datasets"
+	"fesia/internal/invindex"
+)
+
+// serverConfig sizes the demo corpus and bounds query execution.
+type serverConfig struct {
+	docs    int
+	items   int
+	meanLen int
+	seed    int64
+	timeout time.Duration // per-query deadline on /query and the load generator
+}
+
+// server holds the index and the set of items frequent enough to query.
+type server struct {
+	cfg       serverConfig
+	ix        *invindex.Index
+	queryable []uint32 // items with a non-trivial posting list
+}
+
+// newServer builds the corpus and index and enables the process-wide stats
+// sink (idempotent), so every executor created afterwards is instrumented.
+func newServer(cfg serverConfig) (*server, error) {
+	fesia.EnableStats()
+	if cfg.timeout <= 0 {
+		cfg.timeout = time.Second
+	}
+	corpus := datasets.NewCorpus(datasets.CorpusConfig{
+		NumDocs:  cfg.docs,
+		NumItems: cfg.items,
+		MeanLen:  cfg.meanLen,
+		Seed:     cfg.seed,
+	})
+	ix, err := invindex.FromCorpus(corpus, core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	s := &server{cfg: cfg, ix: ix}
+	for item, lst := range corpus.Postings {
+		if len(lst) >= 8 {
+			s.queryable = append(s.queryable, item)
+		}
+	}
+	if len(s.queryable) < 16 {
+		return nil, fmt.Errorf("fesiaserve: corpus too small: only %d queryable items", len(s.queryable))
+	}
+	sort.Slice(s.queryable, func(i, j int) bool { return s.queryable[i] < s.queryable[j] })
+	return s, nil
+}
+
+// register mounts the server's routes on mux. main passes DefaultServeMux so
+// the blank-imported /debug/vars and /debug/pprof handlers ride along; the
+// smoke test passes its own mux.
+func (s *server) register(mux *http.ServeMux) {
+	mux.Handle("/metrics", fesia.StatsHandler())
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/", s.handleIndex)
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprintf(w, `fesiaserve: conjunctive-query demo over %d docs, %d indexed items
+  /query?items=a,b,...  conjunctive document count (comma-separated item IDs)
+  /query?rand=k         random k-keyword query from the corpus
+  /metrics              Prometheus text format
+  /debug/vars           expvar JSON (key "fesia")
+  /debug/pprof/         pprof index
+`, s.ix.NumDocs(), s.ix.NumItems())
+}
+
+// handleQuery answers one conjunctive query, bounded by the request context
+// plus the configured per-query timeout (exercising the cancellable paths).
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var items []uint32
+	switch {
+	case r.URL.Query().Get("rand") != "":
+		k, err := strconv.Atoi(r.URL.Query().Get("rand"))
+		if err != nil || k < 1 || k > 16 {
+			http.Error(w, "rand must be an integer in [1, 16]", http.StatusBadRequest)
+			return
+		}
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		items = s.sampleItems(rng, k)
+	case r.URL.Query().Get("items") != "":
+		for _, f := range strings.Split(r.URL.Query().Get("items"), ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(f), 10, 32)
+			if err != nil {
+				http.Error(w, "items must be comma-separated uint32 IDs", http.StatusBadRequest)
+				return
+			}
+			items = append(items, uint32(v))
+		}
+	default:
+		http.Error(w, "need ?items=a,b,... or ?rand=k", http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.timeout)
+	defer cancel()
+	start := time.Now()
+	n, err := s.ix.QueryCountCtx(ctx, items...)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"items":      items,
+		"count":      n,
+		"elapsed_us": time.Since(start).Microseconds(),
+	})
+}
+
+// sampleItems draws k distinct queryable items.
+func (s *server) sampleItems(rng *rand.Rand, k int) []uint32 {
+	items := make([]uint32, 0, k)
+	seen := make(map[uint32]bool, k)
+	for len(items) < k {
+		it := s.queryable[rng.Intn(len(s.queryable))]
+		if !seen[it] {
+			seen[it] = true
+			items = append(items, it)
+		}
+	}
+	return items
+}
+
+// runQueries drives n mixed queries through one caller-owned executor: mostly
+// 2-3 keyword conjunctive counts (hitting the adaptive merge/hash switch and
+// the k-way path), with every 16th iteration a one-vs-many batch — the mix
+// that lights up all four strategy histograms. Used by the load generator and
+// the smoke test.
+func (s *server) runQueries(rng *rand.Rand, ex *core.Executor, n int) {
+	out := make([]int, 8)
+	for i := 0; i < n; i++ {
+		if i%16 == 15 {
+			items := s.sampleItems(rng, 9)
+			s.ix.QueryManyCountExec(ex, out, items[0], items[1:])
+			continue
+		}
+		items := s.sampleItems(rng, 2+i%2)
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.timeout)
+		if _, err := s.ix.QueryCountExecCtx(ctx, ex, items...); err != nil {
+			log.Printf("query %v: %v", items, err)
+		}
+		cancel()
+	}
+}
+
+// startLoad runs `workers` background query loops until ctx is cancelled,
+// each on its own instrumented executor, pausing `delay` between batches.
+func (s *server) startLoad(ctx context.Context, workers int, delay time.Duration) {
+	for w := 0; w < workers; w++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			ex := core.NewExecutor()
+			for ctx.Err() == nil {
+				s.runQueries(rng, ex, 64)
+				if delay > 0 {
+					time.Sleep(delay)
+				}
+			}
+		}(s.cfg.seed + int64(w) + 1)
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fesiaserve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	docs := flag.Int("docs", 50_000, "corpus size in documents")
+	items := flag.Int("items", 100_000, "corpus item-ID universe")
+	meanLen := flag.Int("meanlen", 40, "mean items per document")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	load := flag.Int("load", 0, "background load-generator workers (0 = none)")
+	delay := flag.Duration("delay", 5*time.Millisecond, "load-generator pause between 64-query batches")
+	timeout := flag.Duration("timeout", time.Second, "per-query deadline")
+	flag.Parse()
+
+	log.Printf("building corpus (%d docs, %d items)...", *docs, *items)
+	s, err := newServer(serverConfig{
+		docs: *docs, items: *items, meanLen: *meanLen, seed: *seed, timeout: *timeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fesia.PublishStatsExpvar("fesia")
+	s.register(http.DefaultServeMux)
+	if *load > 0 {
+		log.Printf("starting %d load workers", *load)
+		s.startLoad(context.Background(), *load, *delay)
+	}
+	log.Printf("serving on %s (/metrics, /debug/vars, /debug/pprof/, /query)", *addr)
+	log.Fatal(http.ListenAndServe(*addr, nil))
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fesia/internal/core"
+)
+
+func testServer(t *testing.T) *server {
+	t.Helper()
+	s, err := newServer(serverConfig{
+		docs: 3_000, items: 6_000, meanLen: 25, seed: 7, timeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestServeMetricsSmoke drives a slice of load through the server and scrapes
+// /metrics once — the acceptance check that the whole observability pipeline
+// (instrumented executors -> global sink -> Prometheus writer -> HTTP) shows
+// live histograms.
+func TestServeMetricsSmoke(t *testing.T) {
+	s := testServer(t)
+	s.runQueries(rand.New(rand.NewSource(1)), core.NewExecutor(), 128)
+
+	mux := http.NewServeMux()
+	s.register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("GET /metrics: Content-Type = %q, want text/plain exposition format", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`fesia_queries_total{strategy="merge"}`,
+		`fesia_query_latency_seconds_bucket`,
+		`fesia_query_latency_seconds_count`,
+		`fesia_kernel_dispatch_total{size_a=`,
+		`fesia_segment_pairs_total`,
+		`fesia_batch_candidates_total`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics output missing %q", want)
+		}
+	}
+}
+
+// TestServeQueryEndpoint checks /query answers match the index directly.
+func TestServeQueryEndpoint(t *testing.T) {
+	s := testServer(t)
+	mux := http.NewServeMux()
+	s.register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	a, b := s.queryable[0], s.queryable[1]
+	resp, err := http.Get(srv.URL + fmt.Sprintf("/query?items=%d,%d", a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /query: status %d", resp.StatusCode)
+	}
+	var got struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if want := s.ix.QueryCount(a, b); got.Count != want {
+		t.Errorf("/query count = %d, want %d", got.Count, want)
+	}
+
+	for _, bad := range []string{"/query", "/query?items=x", "/query?rand=99"} {
+		resp, err := http.Get(srv.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fesia/internal/core"
 	"fesia/internal/datasets"
 	"fesia/internal/invindex"
+	"fesia/internal/stats"
 )
 
 func fail(err error) {
@@ -31,6 +32,10 @@ func fail(err error) {
 }
 
 func main() {
+	// Enable the observability sink before any executor exists, so every
+	// query below is recorded into the per-strategy latency histograms.
+	core.EnableStats(stats.New())
+
 	fmt.Println("generating corpus...")
 	corpus := datasets.NewCorpus(datasets.CorpusConfig{
 		NumDocs:  50_000,
@@ -82,12 +87,43 @@ func main() {
 	// Three-keyword queries exercise the k-way path. Frequent items (long
 	// posting lists) make non-empty conjunctions likely.
 	fmt.Println("\nthree-keyword queries:")
-	for qi, q := range corpus.SampleQueries(rng, 4, 3, 800, 1.0, 0) {
+	threeWay := corpus.SampleQueries(rng, 4, 3, 800, 1.0, 0)
+	for qi, q := range threeWay {
 		docs := index.Query(q.Items...)
 		fmt.Printf("  q%d: items %v -> %d matching documents", qi, q.Items, len(docs))
 		if len(docs) > 0 {
 			fmt.Printf(" (first: doc %d)", docs[0])
 		}
 		fmt.Println()
+	}
+
+	// Serving-latency distribution: replay a mixed stream through one warm
+	// executor and read the per-strategy percentiles the observability layer
+	// collected — what a production deployment would scrape from /metrics
+	// instead of timing queries one by one.
+	const streamLen = 4000
+	mixed := corpus.SampleQueries(rng, 32, 2, 100, 0.5, 0)
+	ex := core.NewExecutor()
+	for i := 0; i < streamLen; i++ {
+		if i%8 == 7 {
+			q := threeWay[i%len(threeWay)]
+			index.QueryCountExec(ex, q.Items...)
+			continue
+		}
+		q := mixed[i%len(mixed)]
+		index.QueryCountExec(ex, q.Items...)
+	}
+	snap := core.StatsSink().Snapshot()
+	fmt.Printf("\nper-query latency percentiles over a %d-query stream:\n", streamLen)
+	for _, s := range []struct {
+		name string
+		h    stats.LatHist
+	}{{"merge", stats.LatMerge}, {"hash", stats.LatHash}, {"k-way", stats.LatKWay}} {
+		l := snap.Latency(s.h)
+		if l.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-6s n=%-6d mean=%-9v p50=%-9v p90=%-9v p99=%v\n",
+			s.name, l.Count, l.Mean(), l.Quantile(0.50), l.Quantile(0.90), l.Quantile(0.99))
 	}
 }

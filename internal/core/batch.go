@@ -1,8 +1,11 @@
 package core
 
 import (
+	"time"
+
 	"fesia/internal/kernels"
 	"fesia/internal/simd"
+	"fesia/internal/stats"
 )
 
 // This file implements the batch one-vs-many query engine: intersecting one
@@ -140,12 +143,33 @@ func dispatchStagedIntersect(d *kernels.Dispatcher, dst, xr, yr []uint32, recs [
 
 // countMergeStaged is the staged-dispatch CountMerge used by the batch paths:
 // stage into recs, dispatch, return the count and the (possibly grown) record
-// buffer.
-func countMergeStaged(a, b *Set, recs []stagedSeg) (int, []stagedSeg, uint32) {
+// buffer. st, when non-nil, receives the exact merge-side counters; kst, when
+// non-nil (the sampled fraction of queries), additionally gets the kernel
+// histogram replayed from the staged records in a pre-pass so the dispatch
+// loop itself stays untouched.
+func countMergeStaged(a, b *Set, recs []stagedSeg, st, kst *stats.Shard) (int, []stagedSeg, uint32) {
 	x, y := ordered(a, b)
 	recs = stageSegPairs(x, y, recs[:0])
+	if st != nil {
+		if kst != nil {
+			recordStagedKernels(kst, recs)
+		}
+		st.Add(stats.CtrSegPairs, uint64(len(recs)))
+		st.Add(stats.CtrSegmentsScanned, uint64(x.bm.NumSegments()))
+	}
 	n, touch := dispatchStagedCount(&x.disp, x.reordered, y.reordered, recs)
 	return n, recs, touch
+}
+
+// recordStagedKernels replays a staged record list into the kernel-dispatch
+// histogram (the staged paths' equivalent of countMergeRange's inline
+// per-pair recording; subject to the same query-level sampling). st must be
+// non-nil.
+func recordStagedKernels(st *stats.Shard, recs []stagedSeg) {
+	for i := range recs {
+		r := &recs[i]
+		st.Kernel(int(r.oaEnd-r.oa), int(r.obEnd-r.ob))
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -176,8 +200,10 @@ type probeRec struct{ x, oa, oaEnd uint32 }
 // emit (when non-nil), in the same order hashProbeRange produces.
 //
 // stage must hold probeBlock entries. The accumulated touch value is
-// returned so the read-ahead loads cannot be dead-code-eliminated.
-func hashProbeStaged(small, large *Set, stage []probeRec, dst []uint32, emit Visitor) (int, uint32) {
+// returned so the read-ahead loads cannot be dead-code-eliminated. st, when
+// non-nil, receives the probe/survivor counters at block granularity (the
+// block compaction rate of the staged probe).
+func hashProbeStaged(small, large *Set, stage []probeRec, dst []uint32, emit Visitor, st *stats.Shard) (int, uint32) {
 	// Tiny inputs can't amortize a staging block, and their overwhelmingly
 	// missing probes are exactly what the scalar loop's branch predictor
 	// eats for free; route them there.
@@ -187,10 +213,10 @@ func hashProbeStaged(small, large *Set, stage []probeRec, dst []uint32, emit Vis
 			hashProbeRange(small, large, 0, small.n, func(x uint32) {
 				dst[k] = x
 				k++
-			})
+			}, st)
 			return k, 0
 		}
-		return hashProbeRange(small, large, 0, small.n, emit), 0
+		return hashProbeRange(small, large, 0, small.n, emit, st), 0
 	}
 	lb := large.bm
 	words := lb.Words()
@@ -202,6 +228,7 @@ func hashProbeStaged(small, large *Set, stage []probeRec, dst []uint32, emit Vis
 	elems := small.reordered
 
 	n := 0
+	survivors := 0
 	var touch uint64
 	for lo := 0; lo < len(elems); lo += probeBlock {
 		blk := elems[lo:min(lo+probeBlock, len(elems))]
@@ -215,6 +242,7 @@ func hashProbeStaged(small, large *Set, stage []probeRec, dst []uint32, emit Vis
 			stage[ns] = probeRec{x, oa, oaEnd}
 			ns += hit
 		}
+		survivors += ns
 		// Touch pass: issue every survivor's first segment load back to back,
 		// so the (serialized, short-scan) scan phase finds the lines already
 		// in flight. Survivors' segments are never empty — their bit was set.
@@ -223,6 +251,10 @@ func hashProbeStaged(small, large *Set, stage []probeRec, dst []uint32, emit Vis
 		}
 		// Scan phase over the staged (and now in-flight) segment lists.
 		n = scanStage(stage[:ns], reord, dst, emit, n)
+	}
+	if st != nil {
+		st.Add(stats.CtrHashProbes, uint64(len(elems)))
+		st.Add(stats.CtrHashSurvivors, uint64(survivors))
 	}
 	return n, uint32(touch)
 }
@@ -282,20 +314,20 @@ func (c *probeCache) fill(q *Set, mBits uint64) {
 // is the probing side and big enough to amortize staging, the probe runs on
 // the executor's memoized position cache; otherwise it falls through to the
 // self-hashing staged probe.
-func hashProbeBatch(c *probeCache, q, small, large *Set, stage []probeRec, dst []uint32, emit Visitor) (int, uint32) {
+func hashProbeBatch(c *probeCache, q, small, large *Set, stage []probeRec, dst []uint32, emit Visitor, st *stats.Shard) (int, uint32) {
 	if small == q && small.n >= probeBlock {
 		if mBits := large.bm.Bits(); c.bits != mBits {
 			c.fill(q, mBits)
 		}
-		return hashProbeStagedPos(c.pos, small, large, stage, dst, emit)
+		return hashProbeStagedPos(c.pos, small, large, stage, dst, emit, st)
 	}
-	return hashProbeStaged(small, large, stage, dst, emit)
+	return hashProbeStaged(small, large, stage, dst, emit, st)
 }
 
 // hashProbeStagedPos is hashProbeStaged with the probe positions read from a
 // precomputed cache instead of hashed on the fly — the staging phase becomes
 // pure loads and shifts.
-func hashProbeStagedPos(pos []uint64, small, large *Set, stage []probeRec, dst []uint32, emit Visitor) (int, uint32) {
+func hashProbeStagedPos(pos []uint64, small, large *Set, stage []probeRec, dst []uint32, emit Visitor, st *stats.Shard) (int, uint32) {
 	lb := large.bm
 	words := lb.Words()
 	segShift := uint(simd.Tzcnt32(uint32(lb.SegBits()))) // log2(segBits)
@@ -304,6 +336,7 @@ func hashProbeStagedPos(pos []uint64, small, large *Set, stage []probeRec, dst [
 	elems := small.reordered
 
 	n := 0
+	survivors := 0
 	var touch uint64
 	for lo := 0; lo < len(elems); lo += probeBlock {
 		hi := min(lo+probeBlock, len(elems))
@@ -318,10 +351,15 @@ func hashProbeStagedPos(pos []uint64, small, large *Set, stage []probeRec, dst [
 			stage[ns] = probeRec{x, oa, oaEnd}
 			ns += hit
 		}
+		survivors += ns
 		for i := range stage[:ns] {
 			touch += uint64(reord[stage[i].oa])
 		}
 		n = scanStage(stage[:ns], reord, dst, emit, n)
+	}
+	if st != nil {
+		st.Add(stats.CtrHashProbes, uint64(len(elems)))
+		st.Add(stats.CtrHashSurvivors, uint64(survivors))
 	}
 	return n, uint32(touch)
 }
@@ -354,6 +392,11 @@ func (e *Executor) CountMany(q *Set, candidates []*Set, out []int) {
 	if len(candidates) == 0 {
 		return
 	}
+	st := e.st
+	var start time.Time
+	if st != nil {
+		start = time.Now()
+	}
 	e.ensureProbe()
 	recs := e.staged
 	var touch uint32
@@ -368,18 +411,22 @@ func (e *Executor) CountMany(q *Set, candidates []*Set, out []int) {
 				small, large = large, small
 			}
 			var t uint32
-			out[i], t = hashProbeBatch(&e.qcache, q, small, large, e.probeStage, nil, nil)
+			out[i], t = hashProbeBatch(&e.qcache, q, small, large, e.probeStage, nil, nil, st)
 			touch += t
 		default:
 			var n int
 			var t uint32
-			n, recs, t = countMergeStaged(q, c, recs)
+			n, recs, t = countMergeStaged(q, c, recs, st, e.kernelShard())
 			out[i] = n
 			touch += t
 		}
 	}
 	e.staged = recs
 	e.touchSink += touch
+	if st != nil {
+		st.Add(stats.CtrBatchCandidates, uint64(len(candidates)))
+		observeSince(st, stats.CtrQueriesBatch, stats.LatBatch, start)
+	}
 }
 
 // IntersectManyInto writes q ∩ candidates[i] for every candidate into dst,
@@ -392,6 +439,11 @@ func (e *Executor) CountMany(q *Set, candidates []*Set, out []int) {
 func (e *Executor) IntersectManyInto(dst []uint32, counts []int, q *Set, candidates []*Set) int {
 	if len(counts) < len(candidates) {
 		panic("core: IntersectManyInto counts shorter than candidate list")
+	}
+	st := e.st
+	var start time.Time
+	if st != nil {
+		start = time.Now()
 	}
 	e.ensureProbe()
 	recs := e.staged
@@ -409,11 +461,18 @@ func (e *Executor) IntersectManyInto(dst []uint32, counts []int, q *Set, candida
 				small, large = large, small
 			}
 			var t uint32
-			n, t = hashProbeBatch(&e.qcache, q, small, large, e.probeStage, dst[total:], nil)
+			n, t = hashProbeBatch(&e.qcache, q, small, large, e.probeStage, dst[total:], nil, st)
 			touch += t
 		default:
 			x, y := ordered(q, c)
 			recs = stageSegPairs(x, y, recs[:0])
+			if st != nil {
+				if kst := e.kernelShard(); kst != nil {
+					recordStagedKernels(kst, recs)
+				}
+				st.Add(stats.CtrSegPairs, uint64(len(recs)))
+				st.Add(stats.CtrSegmentsScanned, uint64(x.bm.NumSegments()))
+			}
 			var t uint32
 			n, t = dispatchStagedIntersect(&x.disp, dst[total:], x.reordered, y.reordered, recs)
 			touch += t
@@ -423,6 +482,10 @@ func (e *Executor) IntersectManyInto(dst []uint32, counts []int, q *Set, candida
 	}
 	e.staged = recs
 	e.touchSink += touch
+	if st != nil {
+		st.Add(stats.CtrBatchCandidates, uint64(len(candidates)))
+		observeSince(st, stats.CtrQueriesBatch, stats.LatBatch, start)
+	}
 	return total
 }
 
@@ -431,6 +494,11 @@ func (e *Executor) IntersectManyInto(dst []uint32, counts []int, q *Set, candida
 // writes, without materializing any result. The only steady-state allocation
 // is one adapter closure per call.
 func (e *Executor) VisitMany(q *Set, candidates []*Set, emit func(candidate int, v uint32)) {
+	st := e.st
+	var start time.Time
+	if st != nil {
+		start = time.Now()
+	}
 	e.ensureProbe()
 	recs := e.staged
 	scratch := e.scratch
@@ -447,11 +515,18 @@ func (e *Executor) VisitMany(q *Set, candidates []*Set, emit func(candidate int,
 			if small.n > large.n {
 				small, large = large, small
 			}
-			_, t := hashProbeBatch(&e.qcache, q, small, large, e.probeStage, nil, emit1)
+			_, t := hashProbeBatch(&e.qcache, q, small, large, e.probeStage, nil, emit1, st)
 			e.touchSink += t
 		default:
 			x, y := ordered(q, c)
 			recs = stageSegPairs(x, y, recs[:0])
+			if st != nil {
+				if kst := e.kernelShard(); kst != nil {
+					recordStagedKernels(kst, recs)
+				}
+				st.Add(stats.CtrSegPairs, uint64(len(recs)))
+				st.Add(stats.CtrSegmentsScanned, uint64(x.bm.NumSegments()))
+			}
 			scratch = growU32(scratch, max(min(x.maxSeg, y.maxSeg), 1))
 			d := &x.disp
 			xr, yr := x.reordered, y.reordered
@@ -471,6 +546,10 @@ func (e *Executor) VisitMany(q *Set, candidates []*Set, emit func(candidate int,
 	}
 	e.staged = recs
 	e.scratch = scratch
+	if st != nil {
+		st.Add(stats.CtrBatchCandidates, uint64(len(candidates)))
+		observeSince(st, stats.CtrQueriesBatch, stats.LatBatch, start)
+	}
 }
 
 // CountManyParallel is CountMany with the *candidate list* partitioned across
@@ -494,6 +573,10 @@ func (e *Executor) CountManyParallel(q *Set, candidates []*Set, out []int, worke
 		e.CountMany(q, candidates, out)
 		return
 	}
+	var start time.Time
+	if e.st != nil {
+		start = time.Now()
+	}
 	// Size-ordered schedule: sort candidate indices by descending set size,
 	// then deal index k to worker k mod workers. Round-robin over a sorted
 	// order bounds any worker's load at (total + max)/workers.
@@ -514,6 +597,7 @@ func (e *Executor) CountManyParallel(q *Set, candidates []*Set, out []int, worke
 		ws.qcache.bits = 0
 		recs := ws.staged
 		var touch uint32
+		seq := 0 // per-worker merge-candidate index for kernel sampling
 		for k := w; k < len(sched); k += workers {
 			i := sched[k]
 			c := candidates[i]
@@ -527,12 +611,13 @@ func (e *Executor) CountManyParallel(q *Set, candidates []*Set, out []int, worke
 					small, large = large, small
 				}
 				var t uint32
-				out[i], t = hashProbeBatch(&ws.qcache, q, small, large, ws.probeStage, nil, nil)
+				out[i], t = hashProbeBatch(&ws.qcache, q, small, large, ws.probeStage, nil, nil, ws.st)
 				touch += t
 			default:
 				var n int
 				var t uint32
-				n, recs, t = countMergeStaged(q, c, recs)
+				n, recs, t = countMergeStaged(q, c, recs, ws.st, sampleShard(ws.st, seq))
+				seq++
 				out[i] = n
 				touch += t
 			}
@@ -540,6 +625,10 @@ func (e *Executor) CountManyParallel(q *Set, candidates []*Set, out []int, worke
 		ws.staged = recs
 		ws.touch = touch
 	})
+	if e.st != nil {
+		e.st.Add(stats.CtrBatchCandidates, uint64(len(candidates)))
+		observeSince(e.st, stats.CtrQueriesBatch, stats.LatBatch, start)
+	}
 }
 
 // ---------------------------------------------------------------------------

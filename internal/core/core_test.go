@@ -507,6 +507,66 @@ func TestBreakdown(t *testing.T) {
 	}
 }
 
+func TestHashBreakdown(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	small := MustNewSet(randSet(rng, 1000, 40000), DefaultConfig())
+	large := MustNewSet(randSet(rng, 20000, 40000), DefaultConfig())
+	bd := CountHashBreakdown(small, large)
+	want := CountHash(small, large)
+	if bd.Count != want {
+		t.Errorf("HashBreakdown.Count = %d, want %d", bd.Count, want)
+	}
+	if bd.Probes != small.Len() {
+		t.Errorf("Probes = %d, want smaller set's size %d", bd.Probes, small.Len())
+	}
+	if bd.Survivors < bd.Count || bd.Survivors > bd.Probes {
+		t.Errorf("Survivors = %d, want in [Count=%d, Probes=%d]", bd.Survivors, bd.Count, bd.Probes)
+	}
+	if wantBlocks := (small.Len() + probeBlock - 1) / probeBlock; bd.Blocks != wantBlocks {
+		t.Errorf("Blocks = %d, want %d", bd.Blocks, wantBlocks)
+	}
+	if bd.StageTime <= 0 || bd.TouchTime < 0 || bd.ScanTime < 0 {
+		t.Errorf("times: stage=%v touch=%v scan=%v", bd.StageTime, bd.TouchTime, bd.ScanTime)
+	}
+	// Argument order must not matter (the smaller set always probes).
+	if bd2 := CountHashBreakdown(large, small); bd2.Count != want || bd2.Probes != small.Len() {
+		t.Errorf("swapped args: Count=%d Probes=%d, want %d, %d", bd2.Count, bd2.Probes, want, small.Len())
+	}
+}
+
+func TestHashProbeTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	small := MustNewSet(randSet(rng, 700, 30000), DefaultConfig())
+	large := MustNewSet(randSet(rng, 15000, 30000), DefaultConfig())
+	trace := HashProbeTrace(small, large)
+	if len(trace) != small.Len() {
+		t.Fatalf("trace length = %d, want %d", len(trace), small.Len())
+	}
+	matches, survivors := 0, 0
+	for i, p := range trace {
+		if p.Match {
+			matches++
+		}
+		if p.Survived {
+			survivors++
+			if p.SegLen <= 0 {
+				t.Fatalf("trace[%d]: survived with SegLen %d", i, p.SegLen)
+			}
+		} else if p.SegLen != 0 || p.Match {
+			t.Fatalf("trace[%d]: filtered probe with SegLen=%d Match=%v", i, p.SegLen, p.Match)
+		}
+		if want := large.Contains(p.Elem); p.Match != want {
+			t.Fatalf("trace[%d]: Match=%v, want %v", i, p.Match, want)
+		}
+	}
+	if want := CountHash(small, large); matches != want {
+		t.Errorf("trace matches = %d, want %d", matches, want)
+	}
+	if bd := CountHashBreakdown(small, large); survivors != bd.Survivors {
+		t.Errorf("trace survivors = %d, breakdown says %d", survivors, bd.Survivors)
+	}
+}
+
 // Property: for arbitrary inputs, merge, hash, adaptive and 2-way CountK all
 // agree with ground truth.
 func TestStrategiesAgreeQuick(t *testing.T) {

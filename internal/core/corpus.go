@@ -13,6 +13,7 @@ import (
 	"fesia/internal/bitmap"
 	"fesia/internal/hashutil"
 	"fesia/internal/simd"
+	"fesia/internal/stats"
 )
 
 // Corpus snapshots: one stream persisting an entire BuildSets/BuildBatch
@@ -43,6 +44,12 @@ var corpusMagic = [8]byte{'F', 'E', 'S', 'I', 'A', 'C', '2', 0}
 // (the invariant BuildSets guarantees); sets from different builds cannot be
 // mixed into one snapshot.
 func WriteCorpus(w io.Writer, sets []*Set) (int64, error) {
+	n, err := writeCorpus(w, sets)
+	statsOutcome(err, stats.CtrSnapshotWrites, stats.CtrSnapshotWriteErrors)
+	return n, err
+}
+
+func writeCorpus(w io.Writer, sets []*Set) (int64, error) {
 	cfg, err := corpusConfig(sets)
 	if err != nil {
 		return 0, err
@@ -120,6 +127,12 @@ type corpusSetMeta struct {
 // bit flips, forged headers — yields an error, never a panic, hang, or
 // silently wrong set.
 func ReadCorpus(r io.Reader) ([]*Set, error) {
+	sets, err := readCorpus(r)
+	statsOutcome(err, stats.CtrSnapshotReads, stats.CtrSnapshotReadErrors)
+	return sets, err
+}
+
+func readCorpus(r io.Reader) ([]*Set, error) {
 	br := bufio.NewReader(r)
 	cr := &crcReader{r: br}
 	var magic [8]byte

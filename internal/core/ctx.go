@@ -2,6 +2,9 @@ package core
 
 import (
 	"context"
+	"time"
+
+	"fesia/internal/stats"
 )
 
 // Context-aware query paths. A serving system needs runaway queries to be
@@ -34,18 +37,46 @@ const (
 	ctxProbeBlock = 2048
 )
 
+// noteCancel records one cancelled query (when stats are enabled) and passes
+// the error through. Called once per top-level ctx method, so a cancelled
+// query counts once no matter how many checkpoints observed it.
+func (e *Executor) noteCancel(err error) error {
+	if err != nil && e.st != nil {
+		e.st.Inc(stats.CtrCancellations)
+	}
+	return err
+}
+
 // CountCtx is Count with cooperative cancellation: it returns |a ∩ b| with
 // the adaptively chosen strategy, or ctx.Err() as soon as a checkpoint
 // observes the context done.
 func (e *Executor) CountCtx(ctx context.Context, a, b *Set) (int, error) {
 	compatible(a, b)
 	if err := ctx.Err(); err != nil {
-		return 0, err
+		return 0, e.noteCancel(err)
+	}
+	var start time.Time
+	if e.st != nil {
+		start = time.Now()
 	}
 	if useHash(a, b) {
-		return e.countHashCtx(ctx, a, b)
+		n, err := e.countHashCtx(ctx, a, b)
+		if err != nil {
+			return 0, e.noteCancel(err)
+		}
+		if e.st != nil {
+			observeSince(e.st, stats.CtrQueriesHash, stats.LatHash, start)
+		}
+		return n, nil
 	}
-	return e.countMergeCtx(ctx, a, b)
+	n, err := e.countMergeCtx(ctx, a, b)
+	if err != nil {
+		return 0, e.noteCancel(err)
+	}
+	if e.st != nil {
+		observeSince(e.st, stats.CtrQueriesMerge, stats.LatMerge, start)
+	}
+	return n, nil
 }
 
 // countMergeCtx runs the two-step merge strategy as a staged two-pass
@@ -63,6 +94,13 @@ func (e *Executor) countMergeCtx(ctx context.Context, a, b *Set) (int, error) {
 		recs = stageSegPairsRange(x, y, recs, lo, min(lo+ctxWordBlock, words))
 	}
 	e.staged = recs
+	if e.st != nil {
+		if kst := e.kernelShard(); kst != nil {
+			recordStagedKernels(kst, recs)
+		}
+		e.st.Add(stats.CtrSegPairs, uint64(len(recs)))
+		e.st.Add(stats.CtrSegmentsScanned, uint64(x.bm.NumSegments()))
+	}
 	n := 0
 	var touch uint32
 	for lo := 0; lo < len(recs); lo += ctxStageBlock {
@@ -90,7 +128,7 @@ func (e *Executor) countHashCtx(ctx context.Context, a, b *Set) (int, error) {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
-		n += hashProbeRange(small, large, lo, min(lo+ctxProbeBlock, small.n), nil)
+		n += hashProbeRange(small, large, lo, min(lo+ctxProbeBlock, small.n), nil, e.st)
 	}
 	return n, nil
 }
@@ -102,26 +140,52 @@ func (e *Executor) countHashCtx(ctx context.Context, a, b *Set) (int, error) {
 func (e *Executor) IntersectIntoCtx(ctx context.Context, dst []uint32, a, b *Set) (int, error) {
 	compatible(a, b)
 	if err := ctx.Err(); err != nil {
-		return 0, err
+		return 0, e.noteCancel(err)
+	}
+	var start time.Time
+	if e.st != nil {
+		start = time.Now()
 	}
 	if useHash(a, b) {
-		small, large := a, b
-		if small.n > large.n {
-			small, large = large, small
+		n, err := e.intersectHashCtx(ctx, dst, a, b)
+		if err != nil {
+			return 0, e.noteCancel(err)
 		}
-		n := 0
-		for lo := 0; lo < small.n; lo += ctxProbeBlock {
-			if err := ctx.Err(); err != nil {
-				return 0, err
-			}
-			hi := min(lo+ctxProbeBlock, small.n)
-			hashProbeRange(small, large, lo, hi, func(x uint32) {
-				dst[n] = x
-				n++
-			})
+		if e.st != nil {
+			observeSince(e.st, stats.CtrQueriesHash, stats.LatHash, start)
 		}
 		return n, nil
 	}
+	n, err := e.intersectMergeCtx(ctx, dst, a, b)
+	if err != nil {
+		return 0, e.noteCancel(err)
+	}
+	if e.st != nil {
+		observeSince(e.st, stats.CtrQueriesMerge, stats.LatMerge, start)
+	}
+	return n, nil
+}
+
+func (e *Executor) intersectHashCtx(ctx context.Context, dst []uint32, a, b *Set) (int, error) {
+	small, large := a, b
+	if small.n > large.n {
+		small, large = large, small
+	}
+	n := 0
+	for lo := 0; lo < small.n; lo += ctxProbeBlock {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		hi := min(lo+ctxProbeBlock, small.n)
+		hashProbeRange(small, large, lo, hi, func(x uint32) {
+			dst[n] = x
+			n++
+		}, e.st)
+	}
+	return n, nil
+}
+
+func (e *Executor) intersectMergeCtx(ctx context.Context, dst []uint32, a, b *Set) (int, error) {
 	x, y := ordered(a, b)
 	words := len(x.bm.Words())
 	recs := e.staged[:0]
@@ -133,6 +197,13 @@ func (e *Executor) IntersectIntoCtx(ctx context.Context, dst []uint32, a, b *Set
 		recs = stageSegPairsRange(x, y, recs, lo, min(lo+ctxWordBlock, words))
 	}
 	e.staged = recs
+	if e.st != nil {
+		if kst := e.kernelShard(); kst != nil {
+			recordStagedKernels(kst, recs)
+		}
+		e.st.Add(stats.CtrSegPairs, uint64(len(recs)))
+		e.st.Add(stats.CtrSegmentsScanned, uint64(x.bm.NumSegments()))
+	}
 	n := 0
 	var touch uint32
 	for lo := 0; lo < len(recs); lo += ctxStageBlock {
@@ -164,17 +235,24 @@ func (e *Executor) CountKCtx(ctx context.Context, sets ...*Set) (int, error) {
 		return e.CountCtx(ctx, sets[0], sets[1])
 	}
 	if err := ctx.Err(); err != nil {
-		return 0, err
+		return 0, e.noteCancel(err)
+	}
+	var start time.Time
+	if e.st != nil {
+		start = time.Now()
 	}
 	x, rest := e.kwayPrepare(sets)
 	words := len(x.bm.Words())
 	total := 0
 	for lo := 0; lo < words; lo += ctxWordBlock {
 		if err := ctx.Err(); err != nil {
-			return 0, err
+			return 0, e.noteCancel(err)
 		}
 		e.kwayChainRange(x, rest, lo, min(lo+ctxWordBlock, words),
 			func(cur []uint32) { total += len(cur) })
+	}
+	if e.st != nil {
+		observeSince(e.st, stats.CtrQueriesKWay, stats.LatKWay, start)
 	}
 	return total, nil
 }
@@ -188,31 +266,44 @@ func (e *Executor) CountManyCtx(ctx context.Context, q *Set, candidates []*Set, 
 		panic("core: CountManyCtx output shorter than candidate list")
 	}
 	if err := ctx.Err(); err != nil {
-		return err
+		return e.noteCancel(err)
 	}
 	if len(candidates) == 0 {
 		return nil
+	}
+	var start time.Time
+	if e.st != nil {
+		start = time.Now()
 	}
 	e.ensureProbe()
 	recs := e.staged
 	var touch uint32
 	var err error
+	done := 0
 	for i, c := range candidates {
 		if err = ctx.Err(); err != nil {
 			break
 		}
-		out[i], recs, touch = countOneBatch(&e.qcache, e.probeStage, q, c, recs, touch)
+		out[i], recs, touch = countOneBatch(&e.qcache, e.probeStage, q, c, recs, touch, e.st, e.kernelShard())
+		done++
 	}
 	e.staged = recs
 	e.touchSink += touch
-	return err
+	if err != nil {
+		return e.noteCancel(err)
+	}
+	if e.st != nil {
+		e.st.Add(stats.CtrBatchCandidates, uint64(done))
+		observeSince(e.st, stats.CtrQueriesBatch, stats.LatBatch, start)
+	}
+	return nil
 }
 
 // countOneBatch is the adaptive one-candidate step of the batch engine — the
 // shared body of the context-aware Many paths. It returns the count, the
 // (possibly grown) staging record buffer, and the accumulated read-ahead
 // touch value.
-func countOneBatch(qc *probeCache, stage []probeRec, q, c *Set, recs []stagedSeg, touch uint32) (int, []stagedSeg, uint32) {
+func countOneBatch(qc *probeCache, stage []probeRec, q, c *Set, recs []stagedSeg, touch uint32, st, kst *stats.Shard) (int, []stagedSeg, uint32) {
 	compatible(q, c)
 	switch {
 	case c.n == 0 || q.n == 0:
@@ -222,10 +313,10 @@ func countOneBatch(qc *probeCache, stage []probeRec, q, c *Set, recs []stagedSeg
 		if small.n > large.n {
 			small, large = large, small
 		}
-		n, t := hashProbeBatch(qc, q, small, large, stage, nil, nil)
+		n, t := hashProbeBatch(qc, q, small, large, stage, nil, nil, st)
 		return n, recs, touch + t
 	default:
-		n, recs, t := countMergeStaged(q, c, recs)
+		n, recs, t := countMergeStaged(q, c, recs, st, kst)
 		return n, recs, touch + t
 	}
 }
@@ -249,7 +340,11 @@ func (e *Executor) CountManyParallelCtx(ctx context.Context, q *Set, candidates 
 		return e.CountManyCtx(ctx, q, candidates, out)
 	}
 	if err := ctx.Err(); err != nil {
-		return err
+		return e.noteCancel(err)
+	}
+	var start time.Time
+	if e.st != nil {
+		start = time.Now()
 	}
 	if cap(e.sched) < len(candidates) {
 		e.sched = make([]int32, len(candidates))
@@ -268,15 +363,24 @@ func (e *Executor) CountManyParallelCtx(ctx context.Context, q *Set, candidates 
 		ws.qcache.bits = 0
 		recs := ws.staged
 		var touch uint32
+		seq := 0 // per-worker candidate index for kernel sampling
 		for k := w; k < len(sched); k += workers {
 			if ctx.Err() != nil {
 				break
 			}
 			i := sched[k]
-			out[i], recs, touch = countOneBatch(&ws.qcache, ws.probeStage, q, candidates[i], recs, touch)
+			out[i], recs, touch = countOneBatch(&ws.qcache, ws.probeStage, q, candidates[i], recs, touch, ws.st, sampleShard(ws.st, seq))
+			seq++
 		}
 		ws.staged = recs
 		ws.touch = touch
 	})
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return e.noteCancel(err)
+	}
+	if e.st != nil {
+		e.st.Add(stats.CtrBatchCandidates, uint64(len(candidates)))
+		observeSince(e.st, stats.CtrQueriesBatch, stats.LatBatch, start)
+	}
+	return nil
 }

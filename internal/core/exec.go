@@ -2,8 +2,10 @@ package core
 
 import (
 	"sync"
+	"time"
 
 	"fesia/internal/bitmap"
+	"fesia/internal/stats"
 )
 
 // Visitor consumes one intersection result element. Streaming results through
@@ -39,6 +41,15 @@ type Executor struct {
 	probeStage []probeRec  // staged hash probe: survivor records
 	qcache     probeCache  // query hash positions, memoized per bitmap size
 	touchSink  uint32      // accumulates read-ahead touches so they are not DCE'd
+
+	// Observability (nil when stats are disabled — the default). st is this
+	// executor's single-writer shard for its sequential paths; each parallel
+	// worker slot carries its own shard. qseq numbers the merge queries for
+	// kernel-histogram sampling (kernelSampled). See stats.go for the
+	// ownership model.
+	st   *stats.Shard
+	sink *stats.Sink
+	qseq uint64
 }
 
 // execWorker is one worker's private state inside an Executor's parallel
@@ -53,17 +64,24 @@ type execWorker struct {
 	probeStage []probeRec  // per-worker staged probe buffer
 	qcache     probeCache  // per-worker query position cache
 	touch      uint32      // per-worker read-ahead sink
+	st         *stats.Shard
 }
 
-// NewExecutor returns an Executor attached to the shared worker pool.
+// NewExecutor returns an Executor attached to the shared worker pool. If a
+// process-global stats sink is installed (EnableStats), the executor attaches
+// to it.
 func NewExecutor() *Executor {
-	return &Executor{pool: SharedPool()}
+	e := &Executor{pool: SharedPool()}
+	e.maybeAttachStats()
+	return e
 }
 
 // NewExecutorWithPool returns an Executor whose parallel methods run on the
 // given pool instead of the shared one.
 func NewExecutorWithPool(p *Pool) *Executor {
-	return &Executor{pool: p}
+	e := &Executor{pool: p}
+	e.maybeAttachStats()
+	return e
 }
 
 func (e *Executor) getPool() *Pool {
@@ -84,31 +102,76 @@ func growU32(buf []uint32, n int) []uint32 {
 
 func (e *Executor) ensureWorkers(n int) {
 	for len(e.workers) < n {
-		e.workers = append(e.workers, execWorker{})
+		w := execWorker{}
+		if e.sink != nil {
+			w.st = e.sink.NewShard()
+		}
+		e.workers = append(e.workers, w)
 	}
 }
 
 // ---------------------------------------------------------------------------
-// Two-way queries. The sequential two-way paths need no scratch at all, so
-// these simply share the free functions' implementations; they exist so a
-// caller can route every query through one object.
+// Two-way queries. The sequential two-way paths need no scratch at all; they
+// share the free functions' hot loops, adding only the executor's stats
+// recording (skipped entirely on the nil fast path when stats are disabled).
 // ---------------------------------------------------------------------------
 
 // Count returns |a ∩ b| with the adaptively chosen strategy (FESIAmerge vs
 // FESIAhash, Fig. 11 crossover). Zero heap allocations.
-func (e *Executor) Count(a, b *Set) int { return Count(a, b) }
+func (e *Executor) Count(a, b *Set) int {
+	if useHash(a, b) {
+		return e.CountHash(a, b)
+	}
+	return e.CountMerge(a, b)
+}
 
 // CountMerge forces the two-step FESIAmerge strategy. Zero heap allocations.
-func (e *Executor) CountMerge(a, b *Set) int { return CountMerge(a, b) }
+func (e *Executor) CountMerge(a, b *Set) int {
+	if e.st == nil {
+		return CountMerge(a, b)
+	}
+	start := time.Now()
+	compatible(a, b)
+	x, y := ordered(a, b)
+	n := countMergeRange(x, y, 0, len(x.bm.Words()), e.st, e.kernelShard())
+	observeSince(e.st, stats.CtrQueriesMerge, stats.LatMerge, start)
+	return n
+}
 
 // CountHash forces the per-element FESIAhash strategy. Zero heap allocations.
-func (e *Executor) CountHash(a, b *Set) int { return CountHash(a, b) }
+func (e *Executor) CountHash(a, b *Set) int {
+	if e.st == nil {
+		return CountHash(a, b)
+	}
+	start := time.Now()
+	compatible(a, b)
+	small, large := a, b
+	if small.n > large.n {
+		small, large = large, small
+	}
+	n := hashProbeRange(small, large, 0, small.n, nil, e.st)
+	observeSince(e.st, stats.CtrQueriesHash, stats.LatHash, start)
+	return n
+}
 
 // Intersect writes a ∩ b into dst with the adaptive strategy and returns the
 // count. dst must have room for min(a.Len(), b.Len()) elements. Results are
 // in segment order, not ascending value order (see IntersectMerge). Zero heap
 // allocations.
-func (e *Executor) Intersect(dst []uint32, a, b *Set) int { return Intersect(dst, a, b) }
+func (e *Executor) Intersect(dst []uint32, a, b *Set) int {
+	if e.st == nil {
+		return Intersect(dst, a, b)
+	}
+	start := time.Now()
+	if useHash(a, b) {
+		n := IntersectHash(dst, a, b)
+		observeSince(e.st, stats.CtrQueriesHash, stats.LatHash, start)
+		return n
+	}
+	n := IntersectMerge(dst, a, b)
+	observeSince(e.st, stats.CtrQueriesMerge, stats.LatMerge, start)
+	return n
+}
 
 // ---------------------------------------------------------------------------
 // Streaming visitors: results flow through emit as they are produced.
@@ -136,9 +199,25 @@ func (e *Executor) VisitMerge(a, b *Set, emit Visitor) {
 	t := x.table
 	e.scratch = growU32(e.scratch, max(min(x.maxSeg, y.maxSeg), 1))
 	sc := e.scratch
+	st := e.st
+	kst := e.kernelShard()
+	var start time.Time
+	if st != nil {
+		start = time.Now()
+	}
+	pairs := 0
 	forEachSegPair(x, y, func(sx, sy int) {
+		pairs++
+		if kst != nil {
+			kst.Kernel(int(x.sizes[sx]), int(y.sizes[sy]))
+		}
 		t.Visit(sc, x.segment(sx), y.segment(sy), emit)
 	})
+	if st != nil {
+		st.Add(stats.CtrSegPairs, uint64(pairs))
+		st.Add(stats.CtrSegmentsScanned, uint64(x.bm.NumSegments()))
+		observeSince(st, stats.CtrQueriesMerge, stats.LatMerge, start)
+	}
 }
 
 // VisitHash streams the skewed-input FESIAhash intersection through emit, in
@@ -149,7 +228,13 @@ func (e *Executor) VisitHash(a, b *Set, emit Visitor) {
 	if small.n > large.n {
 		small, large = large, small
 	}
-	hashProbeRange(small, large, 0, small.n, emit)
+	if e.st == nil {
+		hashProbeRange(small, large, 0, small.n, emit, nil)
+		return
+	}
+	start := time.Now()
+	hashProbeRange(small, large, 0, small.n, emit, e.st)
+	observeSince(e.st, stats.CtrQueriesHash, stats.LatHash, start)
 }
 
 // VisitK streams the k-way intersection through emit, in the largest-bitmap
@@ -167,11 +252,18 @@ func (e *Executor) VisitK(emit Visitor, sets ...*Set) {
 		e.VisitMerge(sets[0], sets[1], emit)
 		return
 	}
+	var start time.Time
+	if e.st != nil {
+		start = time.Now()
+	}
 	e.kwayChain(sets, func(cur []uint32) {
 		for _, v := range cur {
 			emit(v)
 		}
 	})
+	if e.st != nil {
+		observeSince(e.st, stats.CtrQueriesKWay, stats.LatKWay, start)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -188,10 +280,17 @@ func (e *Executor) CountK(sets ...*Set) int {
 	case 1:
 		return sets[0].n
 	case 2:
-		return CountMerge(sets[0], sets[1])
+		return e.CountMerge(sets[0], sets[1])
+	}
+	var start time.Time
+	if e.st != nil {
+		start = time.Now()
 	}
 	total := 0
 	e.kwayChain(sets, func(cur []uint32) { total += len(cur) })
+	if e.st != nil {
+		observeSince(e.st, stats.CtrQueriesKWay, stats.LatKWay, start)
+	}
 	return total
 }
 
@@ -210,11 +309,18 @@ func (e *Executor) IntersectK(dst []uint32, sets ...*Set) int {
 	case 2:
 		return IntersectMerge(dst, sets[0], sets[1])
 	}
+	var start time.Time
+	if e.st != nil {
+		start = time.Now()
+	}
 	total := 0
 	e.kwayChain(sets, func(cur []uint32) {
 		copy(dst[total:], cur)
 		total += len(cur)
 	})
+	if e.st != nil {
+		observeSince(e.st, stats.CtrQueriesKWay, stats.LatKWay, start)
+	}
 	return total
 }
 
@@ -308,18 +414,31 @@ func (e *Executor) CountMergeParallel(a, b *Set, workers int) int {
 		workers = words
 	}
 	if workers == 1 {
-		return CountMerge(a, b)
+		return e.CountMerge(a, b)
 	}
+	var start time.Time
+	if e.st != nil {
+		start = time.Now()
+	}
+	sampled := e.kernelSampled()
 	e.ensureWorkers(workers)
 	chunk := (words + workers - 1) / workers
 	e.getPool().Do(workers, func(w int) {
 		lo := w * chunk
 		hi := min(lo+chunk, words)
-		e.workers[w].count = countMergeRange(x, y, lo, hi)
+		ws := &e.workers[w]
+		kst := ws.st
+		if !sampled {
+			kst = nil
+		}
+		ws.count = countMergeRange(x, y, lo, hi, ws.st, kst)
 	})
 	total := 0
 	for w := 0; w < workers; w++ {
 		total += e.workers[w].count
+	}
+	if e.st != nil {
+		observeSince(e.st, stats.CtrQueriesMerge, stats.LatMerge, start)
 	}
 	return total
 }
@@ -341,7 +460,17 @@ func (e *Executor) IntersectMergeParallel(dst []uint32, a, b *Set, workers int) 
 		workers = words
 	}
 	if workers == 1 {
-		return IntersectMerge(dst, a, b)
+		if e.st == nil {
+			return IntersectMerge(dst, a, b)
+		}
+		start := time.Now()
+		n := IntersectMerge(dst, a, b)
+		observeSince(e.st, stats.CtrQueriesMerge, stats.LatMerge, start)
+		return n
+	}
+	var start time.Time
+	if e.st != nil {
+		start = time.Now()
 	}
 	e.ensureWorkers(workers)
 	t := x.table
@@ -370,6 +499,9 @@ func (e *Executor) IntersectMergeParallel(dst []uint32, a, b *Set, workers int) 
 		ws := &e.workers[w]
 		total += copy(dst[total:], ws.buf[:ws.count])
 	}
+	if e.st != nil {
+		observeSince(e.st, stats.CtrQueriesMerge, stats.LatMerge, start)
+	}
 	return total
 }
 
@@ -388,18 +520,25 @@ func (e *Executor) CountHashParallel(a, b *Set, workers int) int {
 		workers = small.n
 	}
 	if workers <= 1 {
-		return CountHash(a, b)
+		return e.CountHash(a, b)
+	}
+	var start time.Time
+	if e.st != nil {
+		start = time.Now()
 	}
 	e.ensureWorkers(workers)
 	chunk := (small.n + workers - 1) / workers
 	e.getPool().Do(workers, func(w int) {
 		lo := w * chunk
 		hi := min(lo+chunk, small.n)
-		e.workers[w].count = hashProbeRange(small, large, lo, hi, nil)
+		e.workers[w].count = hashProbeRange(small, large, lo, hi, nil, e.workers[w].st)
 	})
 	total := 0
 	for w := 0; w < workers; w++ {
 		total += e.workers[w].count
+	}
+	if e.st != nil {
+		observeSince(e.st, stats.CtrQueriesHash, stats.LatHash, start)
 	}
 	return total
 }
@@ -428,6 +567,10 @@ func (e *Executor) CountKParallel(workers int, sets ...*Set) int {
 	}
 	if workers == 1 {
 		return e.CountK(sets...)
+	}
+	var start time.Time
+	if e.st != nil {
+		start = time.Now()
 	}
 	maxSeg := x.maxSeg
 	for _, s := range rest {
@@ -470,6 +613,9 @@ func (e *Executor) CountKParallel(workers int, sets ...*Set) int {
 	for w := 0; w < workers; w++ {
 		total += e.workers[w].count
 	}
+	if e.st != nil {
+		observeSince(e.st, stats.CtrQueriesKWay, stats.LatKWay, start)
+	}
 	return total
 }
 
@@ -479,5 +625,10 @@ func (e *Executor) CountKParallel(workers int, sets ...*Set) int {
 
 var defaultExecutors = sync.Pool{New: func() any { return NewExecutor() }}
 
-func getExecutor() *Executor  { return defaultExecutors.Get().(*Executor) }
+func getExecutor() *Executor {
+	e := defaultExecutors.Get().(*Executor)
+	e.maybeAttachStats() // pooled executors may predate EnableStats
+	return e
+}
+
 func putExecutor(e *Executor) { defaultExecutors.Put(e) }

@@ -6,6 +6,7 @@ import (
 	"fesia/internal/bitmap"
 	"fesia/internal/kernels"
 	"fesia/internal/simd"
+	"fesia/internal/stats"
 )
 
 // SkewThreshold is the size ratio below which the adaptive strategy switches
@@ -20,14 +21,22 @@ const SkewThreshold = 0.25
 func CountMerge(a, b *Set) int {
 	compatible(a, b)
 	x, y := ordered(a, b)
-	return countMergeRange(x, y, 0, len(x.bm.Words()))
+	return countMergeRange(x, y, 0, len(x.bm.Words()), nil, nil)
 }
 
 // countMergeRange is the hot loop: it fuses the three bitmap-level steps of
 // Section IV (word AND, segment transformation, index extraction) with the
 // jump-table dispatch of Listing 2, over words [lo, hi) of the larger
 // bitmap. x must be the larger-bitmap set.
-func countMergeRange(x, y *Set, lo, hi int) int {
+//
+// st, when non-nil, receives the segment-survival counters at range
+// granularity; the pair tally itself is a register increment kept
+// unconditional so the disabled path stays branch-free. kst, when non-nil,
+// additionally receives the per-pair kernel-dispatch histogram — callers pass
+// it for 1 in stats.KernelSampleRate queries (see Executor.kernelSampled), so
+// the histogram's per-pair cost is paid on a thin sample while every counter
+// stays exact.
+func countMergeRange(x, y *Set, lo, hi int, st, kst *stats.Shard) int {
 	d := &x.disp
 	xw, yw := x.bm.Words(), y.bm.Words()
 	wordMask := len(yw) - 1
@@ -45,6 +54,7 @@ func countMergeRange(x, y *Set, lo, hi int) int {
 	alignMask := segBits - 1
 
 	n := 0
+	pairs := 0
 	for i := lo; i < hi; i++ {
 		w := xw[i] & yw[i&wordMask]
 		if w == 0 {
@@ -61,6 +71,10 @@ func countMergeRange(x, y *Set, lo, hi int) int {
 			ob, obEnd := yo[segY], yo[segY+1]
 			la := int(oaEnd - oa)
 			lb := int(obEnd - ob)
+			pairs++
+			if kst != nil {
+				kst.Kernel(la, lb)
+			}
 			if la > d.Cap || lb > d.Cap {
 				n += kernels.GenericCount(xr[oa:oaEnd], yr[ob:obEnd])
 				continue
@@ -68,6 +82,10 @@ func countMergeRange(x, y *Set, lo, hi int) int {
 			ctrl := int(d.Round[la])<<d.Bits | int(d.Round[lb])
 			n += d.Count[ctrl](xr[oa:oaEnd], yr[ob:obEnd])
 		}
+	}
+	if st != nil {
+		st.Add(stats.CtrSegPairs, uint64(pairs))
+		st.Add(stats.CtrSegmentsScanned, uint64((hi-lo)*spw))
 	}
 	return n
 }
@@ -111,8 +129,13 @@ func forEachSegPairRange(x, y *Set, wordLo, wordHi int, fn func(sx, sy int)) {
 // the smaller set's segment-ordered reordered array maps runs of elements
 // onto one segment of the larger set — and skewed inputs concentrate probes
 // on the dense segments.
-func hashProbeRange(small, large *Set, lo, hi int, emit Visitor) int {
+//
+// st, when non-nil, receives the probe/survivor counters (the hash-side
+// selectivity signal); the survivor tally itself is a register increment
+// kept unconditionally so the disabled path stays branch-free.
+func hashProbeRange(small, large *Set, lo, hi int, emit Visitor, st *stats.Shard) int {
 	n := 0
+	survivors := 0
 	lb := large.bm
 	mBits := lb.Bits()
 	words := lb.Words()
@@ -127,6 +150,7 @@ func hashProbeRange(small, large *Set, lo, hi int, emit Visitor) int {
 		if words[pos>>6]&(1<<(pos&63)) == 0 {
 			continue
 		}
+		survivors++
 		if seg := int(pos) >> segShift; seg != lastSeg {
 			lastSeg = seg
 			segList = reord[offs[seg]:offs[seg+1]]
@@ -144,6 +168,10 @@ func hashProbeRange(small, large *Set, lo, hi int, emit Visitor) int {
 			}
 		}
 	}
+	if st != nil {
+		st.Add(stats.CtrHashProbes, uint64(hi-lo))
+		st.Add(stats.CtrHashSurvivors, uint64(survivors))
+	}
 	return n
 }
 
@@ -155,7 +183,7 @@ func CountHash(a, b *Set) int {
 	if small.n > large.n {
 		small, large = large, small
 	}
-	return hashProbeRange(small, large, 0, small.n, nil)
+	return hashProbeRange(small, large, 0, small.n, nil, nil)
 }
 
 // IntersectHash writes a ∩ b into dst using the skewed-input strategy and
@@ -170,7 +198,7 @@ func IntersectHash(dst []uint32, a, b *Set) int {
 	hashProbeRange(small, large, 0, small.n, func(x uint32) {
 		dst[n] = x
 		n++
-	})
+	}, nil)
 	return n
 }
 
@@ -338,4 +366,127 @@ func CountMergeBreakdown(a, b *Set) Breakdown {
 	e := getExecutor()
 	defer putExecutor(e)
 	return e.CountMergeBreakdown(a, b)
+}
+
+// HashBreakdown reports where time went during a skewed-input (FESIAhash)
+// intersection — the hash-side counterpart of Breakdown, covering the
+// strategy CountMergeBreakdown says nothing about.
+type HashBreakdown struct {
+	StageTime time.Duration // branch-free bitmap probing + survivor compaction
+	TouchTime time.Duration // read-ahead touch pass over survivor segment lines
+	ScanTime  time.Duration // survivor segment-list scans
+	Probes    int           // elements probed (the smaller set's size)
+	Survivors int           // probes whose bitmap bit was set (true + false positive)
+	Blocks    int           // probeBlock-sized staging blocks processed
+	Count     int           // final intersection size
+}
+
+// CountHashBreakdown is CountHash with per-phase timing, running the staged
+// two-phase probe (batch engine layout) so the branch-free staging, the
+// read-ahead touch pass and the segment scans are each timed in isolation.
+// The stage buffer is the executor's persistent one, so repeated breakdown
+// sweeps are allocation-free once warm. The count is identical to CountHash.
+func (e *Executor) CountHashBreakdown(a, b *Set) HashBreakdown {
+	compatible(a, b)
+	small, large := a, b
+	if small.n > large.n {
+		small, large = large, small
+	}
+	e.ensureProbe()
+	stage := e.probeStage
+	lb := large.bm
+	words := lb.Words()
+	mBits := lb.Bits()
+	segShift := uint(simd.Tzcnt32(uint32(lb.SegBits()))) // log2(segBits)
+	offs := large.offsets
+	reord := large.reordered
+	hasher := large.hasher
+	elems := small.reordered
+
+	bd := HashBreakdown{Probes: small.n}
+	var touch uint64
+	for lo := 0; lo < len(elems); lo += probeBlock {
+		blk := elems[lo:min(lo+probeBlock, len(elems))]
+		bd.Blocks++
+		t0 := time.Now()
+		ns := 0
+		for _, x := range blk {
+			p := hasher.Pos(x, mBits)
+			hit := int(words[p>>6] >> (p & 63) & 1)
+			seg := int(p) >> segShift
+			oa, oaEnd := offs[seg], offs[seg+1]
+			stage[ns] = probeRec{x, oa, oaEnd}
+			ns += hit
+		}
+		bd.Survivors += ns
+		t1 := time.Now()
+		bd.StageTime += t1.Sub(t0)
+		for i := range stage[:ns] {
+			touch += uint64(reord[stage[i].oa])
+		}
+		t2 := time.Now()
+		bd.TouchTime += t2.Sub(t1)
+		bd.Count = scanStage(stage[:ns], reord, nil, nil, bd.Count)
+		bd.ScanTime += time.Since(t2)
+	}
+	e.touchSink += uint32(touch)
+	return bd
+}
+
+// CountHashBreakdown is the pooled-executor compatibility wrapper for the
+// hash-side breakdown.
+func CountHashBreakdown(a, b *Set) HashBreakdown {
+	e := getExecutor()
+	defer putExecutor(e)
+	return e.CountHashBreakdown(a, b)
+}
+
+// HashProbe is one element's outcome in a hash-strategy probe trace.
+type HashProbe struct {
+	Elem     uint32 // probed element (smaller set, segment order)
+	Survived bool   // bitmap bit was set; the segment list was scanned
+	SegLen   int    // length of the scanned segment list (0 if filtered out)
+	Match    bool   // element present in the larger set
+}
+
+// HashProbeTrace returns the per-element outcomes the skewed-input strategy
+// would produce, in probe order — the hash-side counterpart of DispatchTrace
+// (which covers only the merge strategy's kernel dispatches). The filter rate
+// and scanned-segment lengths are the quantities behind the strategy's
+// O(min(n1, n2)) bound. The only allocation is the returned slice.
+func HashProbeTrace(a, b *Set) []HashProbe {
+	compatible(a, b)
+	small, large := a, b
+	if small.n > large.n {
+		small, large = large, small
+	}
+	lb := large.bm
+	mBits := lb.Bits()
+	words := lb.Words()
+	segShift := uint(simd.Tzcnt32(uint32(lb.SegBits()))) // log2(segBits)
+	offs := large.offsets
+	reord := large.reordered
+	hasher := large.hasher
+	trace := make([]HashProbe, 0, small.n)
+	for _, x := range small.reordered {
+		pos := hasher.Pos(x, mBits)
+		p := HashProbe{Elem: x}
+		if words[pos>>6]&(1<<(pos&63)) != 0 {
+			p.Survived = true
+			seg := int(pos) >> segShift
+			list := reord[offs[seg]:offs[seg+1]]
+			p.SegLen = len(list)
+			for _, v := range list {
+				if v == x {
+					p.Match = true
+					break
+				}
+				if v > x {
+					break
+				}
+			}
+		}
+		trace = append(trace, p)
+	}
+	return trace
 }

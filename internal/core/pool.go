@@ -6,6 +6,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"fesia/internal/stats"
 )
 
 // Pool is a fixed-size set of persistent worker goroutines for the parallel
@@ -50,6 +52,7 @@ type doGroup struct {
 
 // capture records the first panic observed across the group's parts.
 func (g *doGroup) capture(part int, v any) {
+	statsInc(stats.CtrPoolPanics)
 	tp := &TaskPanic{Part: part, Value: v, Stack: debug.Stack()}
 	g.panMu.Lock()
 	if g.pan == nil {
@@ -168,15 +171,29 @@ func (p *Pool) Do(parts int, fn func(part int)) {
 	if parts <= 0 {
 		return
 	}
+	// Pool events go to the global sink's shared shard: Do may run on any
+	// goroutine, so the single-writer shard discipline does not apply. Loaded
+	// once per Do, never per part.
+	sk := globalStats.Load()
+	if sk != nil {
+		sk.Inc(stats.CtrPoolDo)
+	}
 	var g doGroup
 	if parts > 1 {
 		g.wg.Add(parts - 1)
+		pooled, inline := uint64(0), uint64(0)
 		for i := 1; i < parts; i++ {
 			select {
 			case p.tasks <- poolTask{fn, i, &g}:
+				pooled++
 			default:
 				poolTask{fn, i, &g}.run()
+				inline++
 			}
+		}
+		if sk != nil {
+			sk.Add(stats.CtrPoolPartsPooled, pooled)
+			sk.Add(stats.CtrPoolPartsInline, inline)
 		}
 	}
 	// Part 0 runs on the caller, with the same containment as pooled parts so
@@ -184,6 +201,11 @@ func (p *Pool) Do(parts int, fn func(part int)) {
 	g.wg.Add(1)
 	poolTask{fn, 0, &g}.run()
 	g.wg.Wait()
+	// Done must be counted before rethrow, or a contained panic would leak an
+	// in-flight unit into the gauge forever.
+	if sk != nil {
+		sk.Inc(stats.CtrPoolDoDone)
+	}
 	g.rethrow()
 }
 

@@ -13,6 +13,7 @@ import (
 	"fesia/internal/bitmap"
 	"fesia/internal/hashutil"
 	"fesia/internal/simd"
+	"fesia/internal/stats"
 )
 
 // Serialization of a Set, so the offline construction phase (Section VII-A:
@@ -113,6 +114,12 @@ func noEOF(err error) error {
 // WriteTo serializes the set in the v2 checksummed format. It implements
 // io.WriterTo.
 func (s *Set) WriteTo(w io.Writer) (int64, error) {
+	n, err := s.writeTo(w)
+	statsOutcome(err, stats.CtrSnapshotWrites, stats.CtrSnapshotWriteErrors)
+	return n, err
+}
+
+func (s *Set) writeTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw}
 	if err := writeSetBody(cw, s, true); err != nil {
@@ -276,6 +283,12 @@ func readSetHeader(r io.Reader) (cfg Config, n int, mBits uint64, err error) {
 // stream yields an error, never a panic or a silently wrong set. Both the v2
 // checksummed format and the legacy v1 format are accepted.
 func ReadSet(r io.Reader) (*Set, error) {
+	s, err := readSet(r)
+	statsOutcome(err, stats.CtrSnapshotReads, stats.CtrSnapshotReadErrors)
+	return s, err
+}
+
+func readSet(r io.Reader) (*Set, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"fesia/internal/stats"
+)
+
+// statsSkewedPair returns a (small, large) pair whose size ratio forces the
+// hash strategy.
+func statsSkewedPair(t testing.TB) (*Set, *Set) {
+	t.Helper()
+	_, large := benchPair(40_000, 0.5, DefaultConfig())
+	small := MustNewSet(append([]uint32(nil), large.reordered[:500]...), DefaultConfig())
+	if !useHash(small, large) {
+		t.Fatal("pair not skewed enough for the hash strategy")
+	}
+	return small, large
+}
+
+// TestExecutorStatsRecording drives every instrumented strategy through one
+// executor and checks the snapshot reflects it — and that every result is
+// identical to the uninstrumented free functions (instrumentation must never
+// change answers).
+func TestExecutorStatsRecording(t *testing.T) {
+	a, b := benchPair(20_000, 0.3, DefaultConfig())
+	small, large := statsSkewedPair(t)
+	k := stats.New()
+	e := NewExecutor()
+	e.EnableStats(k)
+
+	if got, want := e.Count(a, b), Count(a, b); got != want {
+		t.Fatalf("merge count with stats = %d, want %d", got, want)
+	}
+	if got, want := e.Count(small, large), Count(small, large); got != want {
+		t.Fatalf("hash count with stats = %d, want %d", got, want)
+	}
+	if got, want := e.CountK(a, b, large), CountK(a, b, large); got != want {
+		t.Fatalf("k-way count with stats = %d, want %d", got, want)
+	}
+	cands := []*Set{b, large, small}
+	out := make([]int, len(cands))
+	want := make([]int, len(cands))
+	e.CountMany(a, cands, out)
+	for i, c := range cands {
+		want[i] = Count(a, c)
+		if out[i] != want[i] {
+			t.Fatalf("batch count[%d] with stats = %d, want %d", i, out[i], want[i])
+		}
+	}
+
+	snap := e.Stats()
+	if got := snap.Counter(stats.CtrQueriesMerge); got != 1 {
+		t.Errorf("QueriesMerge = %d, want 1", got)
+	}
+	if got := snap.Counter(stats.CtrQueriesHash); got != 1 {
+		t.Errorf("QueriesHash = %d, want 1", got)
+	}
+	if got := snap.Counter(stats.CtrQueriesKWay); got != 1 {
+		t.Errorf("QueriesKWay = %d, want 1", got)
+	}
+	if got := snap.Counter(stats.CtrQueriesBatch); got != 1 {
+		t.Errorf("QueriesBatch = %d, want 1", got)
+	}
+	if got := snap.Counter(stats.CtrBatchCandidates); got != uint64(len(cands)) {
+		t.Errorf("BatchCandidates = %d, want %d", got, len(cands))
+	}
+	if snap.Counter(stats.CtrSegPairs) == 0 {
+		t.Error("no segment pairs recorded by the merge paths")
+	}
+	if snap.Counter(stats.CtrSegmentsScanned) < snap.Counter(stats.CtrSegPairs) {
+		t.Errorf("SegmentsScanned (%d) < SegPairs (%d): survival ratio > 1",
+			snap.Counter(stats.CtrSegmentsScanned), snap.Counter(stats.CtrSegPairs))
+	}
+	probes, surv := snap.Counter(stats.CtrHashProbes), snap.Counter(stats.CtrHashSurvivors)
+	if probes == 0 {
+		t.Error("no hash probes recorded")
+	}
+	if surv > probes {
+		t.Errorf("HashSurvivors (%d) > HashProbes (%d)", surv, probes)
+	}
+	// The kernel histogram is sampled 1-in-KernelSampleRate merge queries; a
+	// fresh executor samples its very first one, so it must be populated, and
+	// it can never exceed the exact pair counter.
+	if len(snap.Kernels) == 0 {
+		t.Error("kernel-dispatch histogram empty after merge queries")
+	}
+	var kernelTotal uint64
+	for _, kb := range snap.Kernels {
+		kernelTotal += kb.Count
+	}
+	if kernelTotal == 0 || kernelTotal > snap.Counter(stats.CtrSegPairs) {
+		t.Errorf("kernel dispatches = %d, want in [1, SegPairs=%d]", kernelTotal, snap.Counter(stats.CtrSegPairs))
+	}
+	if got := snap.Latency(stats.LatMerge).Count; got != 1 {
+		t.Errorf("merge latency count = %d, want 1", got)
+	}
+	if got := snap.Latency(stats.LatHash).Count; got != 1 {
+		t.Errorf("hash latency count = %d, want 1", got)
+	}
+}
+
+// TestExecutorStatsParallelAndPool checks the worker-shard wiring of the
+// parallel paths and the global sink's pool counters.
+func TestExecutorStatsParallelAndPool(t *testing.T) {
+	a, b := benchPair(50_000, 0.3, DefaultConfig())
+	k := stats.New()
+	EnableStats(k)
+	defer EnableStats(nil)
+
+	e := NewExecutor() // attaches to the global sink
+	if got, want := e.CountMergeParallel(a, b, 4), CountMerge(a, b); got != want {
+		t.Fatalf("parallel merge with stats = %d, want %d", got, want)
+	}
+	cands := []*Set{b, a, b, a, b, a}
+	out := make([]int, len(cands))
+	e.CountManyParallel(a, cands, out, 3)
+	for i, c := range cands {
+		if want := Count(a, c); out[i] != want {
+			t.Fatalf("parallel batch count[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+
+	snap := k.Snapshot()
+	if got := snap.Counter(stats.CtrPoolDo); got == 0 {
+		t.Error("no pool Do calls recorded")
+	}
+	if got, want := snap.Counter(stats.CtrPoolDoDone), snap.Counter(stats.CtrPoolDo); got != want {
+		t.Errorf("PoolDoDone = %d, want %d (in-flight should be zero at rest)", got, want)
+	}
+	if snap.Counter(stats.CtrPoolPartsPooled)+snap.Counter(stats.CtrPoolPartsInline) == 0 {
+		t.Error("no pool parts recorded")
+	}
+	if snap.Counter(stats.CtrSegPairs) == 0 {
+		t.Error("worker shards recorded no segment pairs")
+	}
+	if snap.NumShards < 2 {
+		t.Errorf("NumShards = %d, want executor shard + worker shards", snap.NumShards)
+	}
+}
+
+// TestStatsCancellationCounter checks a cancelled query counts exactly once.
+func TestStatsCancellationCounter(t *testing.T) {
+	a, b := benchPair(10_000, 0.3, DefaultConfig())
+	k := stats.New()
+	e := NewExecutor()
+	e.EnableStats(k)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.CountCtx(ctx, a, b); err == nil {
+		t.Fatal("cancelled CountCtx returned nil error")
+	}
+	snap0 := e.Stats()
+	if got := snap0.Counter(stats.CtrCancellations); got != 1 {
+		t.Fatalf("Cancellations = %d, want 1", got)
+	}
+	// A successful ctx query records its strategy, not a cancellation.
+	n, err := e.CountCtx(context.Background(), a, b)
+	if err != nil || n != Count(a, b) {
+		t.Fatalf("CountCtx = %d, %v; want %d, nil", n, err, Count(a, b))
+	}
+	snap := e.Stats()
+	if got := snap.Counter(stats.CtrCancellations); got != 1 {
+		t.Errorf("Cancellations after success = %d, want still 1", got)
+	}
+	if got := snap.Counter(stats.CtrQueriesMerge); got != 1 {
+		t.Errorf("QueriesMerge via ctx = %d, want 1", got)
+	}
+}
+
+// TestStatsSnapshotCodecCounters checks the serialization outcome counters on
+// the global sink, including the error paths.
+func TestStatsSnapshotCodecCounters(t *testing.T) {
+	a, _ := benchPair(1000, 0.3, DefaultConfig())
+	k := stats.New()
+	EnableStats(k)
+	defer EnableStats(nil)
+
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSet(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSet(strings.NewReader("not a snapshot")); err == nil {
+		t.Fatal("garbage stream read succeeded")
+	}
+	snap := k.Snapshot()
+	if got := snap.Counter(stats.CtrSnapshotWrites); got != 1 {
+		t.Errorf("SnapshotWrites = %d, want 1", got)
+	}
+	if got := snap.Counter(stats.CtrSnapshotReads); got != 1 {
+		t.Errorf("SnapshotReads = %d, want 1", got)
+	}
+	if got := snap.Counter(stats.CtrSnapshotReadErrors); got != 1 {
+		t.Errorf("SnapshotReadErrors = %d, want 1", got)
+	}
+}
+
+// TestStatsZeroAllocWarm proves the paper's "queries are the cheap repeated
+// step" contract survives instrumentation: with stats ENABLED, the warm hot
+// paths still perform zero heap allocations.
+func TestStatsZeroAllocWarm(t *testing.T) {
+	a, b := benchPair(20_000, 0.3, DefaultConfig())
+	small, large := statsSkewedPair(t)
+	k := stats.New()
+	e := NewExecutor()
+	e.EnableStats(k)
+	cands := []*Set{b, large, small}
+	out := make([]int, len(cands))
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Count/merge", func() { benchSink += e.Count(a, b) }},
+		{"Count/hash", func() { benchSink += e.Count(small, large) }},
+		{"CountK", func() { benchSink += e.CountK(a, b, large) }},
+		{"CountMany", func() { e.CountMany(a, cands, out) }},
+		// The *Parallel paths are excluded: Pool.Do's task closure costs two
+		// allocations with or without stats (same as the seed), so they prove
+		// nothing about instrumentation overhead.
+	}
+	for _, c := range cases {
+		c.fn() // warm buffers and worker shards
+		if avg := testing.AllocsPerRun(20, c.fn); avg != 0 {
+			t.Errorf("%s with stats enabled: %v allocs/op, want 0", c.name, avg)
+		}
+	}
+}
+
+// TestStatsConcurrentExecutors hammers one global sink from many goroutines,
+// each with its own executor, overlapping on the shared pool — the serving
+// topology. Run under -race this proves the shard ownership model holds end
+// to end; the final snapshot proves no query was lost.
+func TestStatsConcurrentExecutors(t *testing.T) {
+	a, b := benchPair(20_000, 0.3, DefaultConfig())
+	k := stats.New()
+	EnableStats(k)
+	defer EnableStats(nil)
+
+	const goroutines = 6
+	const iters = 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := NewExecutor()
+			for i := 0; i < iters; i++ {
+				e.Count(a, b)
+				e.CountMergeParallel(a, b, 3)
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := k.Snapshot()
+	if got, want := snap.Counter(stats.CtrQueriesMerge), uint64(goroutines*iters*2); got != want {
+		t.Errorf("QueriesMerge = %d, want %d (lost updates)", got, want)
+	}
+	if got, want := snap.Latency(stats.LatMerge).Count, uint64(goroutines*iters*2); got != want {
+		t.Errorf("merge latency count = %d, want %d", got, want)
+	}
+	if got, want := snap.Counter(stats.CtrPoolDoDone), snap.Counter(stats.CtrPoolDo); got != want {
+		t.Errorf("PoolDoDone = %d, want %d", got, want)
+	}
+}

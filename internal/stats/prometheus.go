@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// promCounter maps a Counter to its Prometheus series. Counters sharing a
+// family are exported with distinguishing labels.
+type promSeries struct {
+	family string
+	labels string // rendered label set including braces, "" for none
+	help   string
+}
+
+var promCounters = [NumCounters]promSeries{
+	CtrQueriesMerge:        {"fesia_queries_total", `{strategy="merge"}`, "Queries answered, by intersection strategy."},
+	CtrQueriesHash:         {"fesia_queries_total", `{strategy="hash"}`, ""},
+	CtrQueriesKWay:         {"fesia_queries_total", `{strategy="kway"}`, ""},
+	CtrQueriesBatch:        {"fesia_queries_total", `{strategy="batch"}`, ""},
+	CtrBatchCandidates:     {"fesia_batch_candidates_total", "", "Candidates processed by one-vs-many batch queries."},
+	CtrSegmentsScanned:     {"fesia_segments_scanned_total", "", "Segments examined by the bitmap word-AND pass (merge strategy)."},
+	CtrSegPairs:            {"fesia_segment_pairs_total", "", "Segment pairs surviving the bitmap filter and dispatched to kernels."},
+	CtrHashProbes:          {"fesia_hash_probes_total", "", "Elements probed by the hash strategy."},
+	CtrHashSurvivors:       {"fesia_hash_probe_survivors_total", "", "Hash probes whose bitmap bit was set (entered the segment scan)."},
+	CtrCancellations:       {"fesia_query_cancellations_total", "", "Queries that returned ctx.Err() at a cooperative checkpoint."},
+	CtrPoolDo:              {"fesia_pool_do_total", "", "Parallel Do calls entered on the worker pool."},
+	CtrPoolDoDone:          {"fesia_pool_do_done_total", "", "Parallel Do calls completed on the worker pool."},
+	CtrPoolPartsPooled:     {"fesia_pool_parts_total", `{mode="pooled"}`, "Task parts, by whether a parked worker took them or they ran inline."},
+	CtrPoolPartsInline:     {"fesia_pool_parts_total", `{mode="inline"}`, ""},
+	CtrPoolPanics:          {"fesia_pool_task_panics_total", "", "Panics contained by the worker pool."},
+	CtrSnapshotWrites:      {"fesia_snapshot_ops_total", `{op="write",outcome="ok"}`, "Snapshot codec operations, by direction and outcome."},
+	CtrSnapshotWriteErrors: {"fesia_snapshot_ops_total", `{op="write",outcome="error"}`, ""},
+	CtrSnapshotReads:       {"fesia_snapshot_ops_total", `{op="read",outcome="ok"}`, ""},
+	CtrSnapshotReadErrors:  {"fesia_snapshot_ops_total", `{op="read",outcome="error"}`, ""},
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4), with no external dependencies. Latency histograms use the
+// native power-of-two buckets as cumulative `le` buckets in seconds; the
+// kernel-dispatch histogram is exported as a labelled counter family.
+func WritePrometheus(w io.Writer, s *Snapshot) error {
+	// Counters, grouped so each family's HELP/TYPE header appears once.
+	lastFamily := ""
+	for c := Counter(0); c < NumCounters; c++ {
+		ps := promCounters[c]
+		if ps.family != lastFamily {
+			if ps.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", ps.family, ps.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", ps.family); err != nil {
+				return err
+			}
+			lastFamily = ps.family
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", ps.family, ps.labels, s.Counters[c]); err != nil {
+			return err
+		}
+	}
+
+	// Pool in-flight gauge, derived from the Do counter pair.
+	if _, err := fmt.Fprintf(w, "# HELP fesia_pool_inflight Parallel Do calls currently in flight.\n# TYPE fesia_pool_inflight gauge\nfesia_pool_inflight %d\n", s.PoolInFlight()); err != nil {
+		return err
+	}
+
+	// Latency histograms.
+	const latFamily = "fesia_query_latency_seconds"
+	if _, err := fmt.Fprintf(w, "# HELP %s Query latency, by intersection strategy.\n# TYPE %s histogram\n", latFamily, latFamily); err != nil {
+		return err
+	}
+	for h := LatHist(0); h < NumLatHists; h++ {
+		l := s.Latencies[h]
+		var cum uint64
+		for b := 0; b < LatBuckets-1; b++ {
+			cum += l.Buckets[b]
+			if l.Buckets[b] == 0 && b > 0 {
+				continue // keep the exposition compact: only emit buckets that changed the sum
+			}
+			le := float64(uint64(1)<<uint(b)) / 1e9
+			if _, err := fmt.Fprintf(w, "%s_bucket{strategy=%q,le=%q} %d\n",
+				latFamily, h.Name(), strconv.FormatFloat(le, 'g', -1, 64), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{strategy=%q,le=\"+Inf\"} %d\n", latFamily, h.Name(), l.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{strategy=%q} %g\n", latFamily, h.Name(), float64(l.SumNanos)/1e9); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count{strategy=%q} %d\n", latFamily, h.Name(), l.Count); err != nil {
+			return err
+		}
+	}
+
+	// Kernel-dispatch histogram (sparse).
+	const kFamily = "fesia_kernel_dispatch_total"
+	if _, err := fmt.Fprintf(w, "# HELP %s Kernel dispatches by true segment-size pair (%d = that size and above).\n# TYPE %s counter\n", kFamily, KernelDim-1, kFamily); err != nil {
+		return err
+	}
+	for _, kb := range s.Kernels {
+		if _, err := fmt.Fprintf(w, "%s{size_a=\"%d\",size_b=\"%d\"} %d\n", kFamily, kb.SizeA, kb.SizeB, kb.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the sink's current state; see the free function.
+func (k *Sink) WritePrometheus(w io.Writer) error {
+	snap := k.Snapshot()
+	return WritePrometheus(w, &snap)
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentWritersAndReaders hammers one sink from many goroutines —
+// each with its own single-writer shard, plus writers on the shared shard —
+// while snapshots and prometheus renders run concurrently. Run under -race
+// (make check) this proves the relaxed single-writer protocol and the shared
+// atomic shard are data-race free, and the final snapshot proves no update
+// was lost.
+func TestConcurrentWritersAndReaders(t *testing.T) {
+	k := New()
+	const writers = 8
+	const iters = 20_000
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		s := k.NewShard()
+		wg.Add(1)
+		go func(s *Shard) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s.Inc(CtrQueriesMerge)
+				s.Add(CtrSegPairs, 3)
+				s.Kernel(i&7, (i>>3)&7)
+				s.Observe(LatMerge, time.Duration(i)*time.Nanosecond)
+			}
+		}(s)
+	}
+	// Multi-writer shard from several goroutines at once.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				k.Inc(CtrPoolDo)
+				k.Inc(CtrPoolDoDone)
+			}
+		}()
+	}
+	// Concurrent readers.
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					snap := k.Snapshot()
+					_ = snap.PoolInFlight()
+					_ = k.WritePrometheus(io.Discard)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	snap := k.Snapshot()
+	if got, want := snap.Counter(CtrQueriesMerge), uint64(writers*iters); got != want {
+		t.Errorf("QueriesMerge = %d, want %d (lost updates)", got, want)
+	}
+	if got, want := snap.Counter(CtrSegPairs), uint64(writers*iters*3); got != want {
+		t.Errorf("SegPairs = %d, want %d", got, want)
+	}
+	if got, want := snap.Counter(CtrPoolDo), uint64(4*iters); got != want {
+		t.Errorf("PoolDo = %d, want %d", got, want)
+	}
+	var kernelTotal uint64
+	for _, kb := range snap.Kernels {
+		kernelTotal += kb.Count
+	}
+	if want := uint64(writers * iters); kernelTotal != want {
+		t.Errorf("kernel dispatches = %d, want %d", kernelTotal, want)
+	}
+	if got, want := snap.Latency(LatMerge).Count, uint64(writers*iters); got != want {
+		t.Errorf("latency count = %d, want %d", got, want)
+	}
+}
