@@ -48,16 +48,27 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
-# Benchmark regression gate: re-measure the strategy micro-benchmarks and
-# fail if any ns/op regressed >15% against the committed baseline. Regenerate
-# the baseline after intentional performance changes with:
+# Benchmark regression gate, three parts:
+#   1. strategy micro-benchmarks vs the committed baseline (>15% ns/op fails);
+#   2. SIMD backend pairing — every asm routine vs its pure-Go reference,
+#      with built-in structural gates (fused filter >= 1.5x, end-to-end merge
+#      must win) and BENCH_simd.json regenerated;
+#   3. the batch cutover scenario — batch-parallel must not be meaningfully
+#      slower than serial batch on any scenario (built-in gate in -batchjson).
+# Regenerate the micro baseline after intentional performance changes with:
 #   $(GO) run ./cmd/fesiabench -json -quick && cp BENCH_intersect.json BENCH_baseline.json
 benchcheck:
 	$(GO) run ./cmd/fesiabench -json -quick -baseline BENCH_baseline.json
+	$(GO) run ./cmd/fesiabench -simdjson -quick
+	$(GO) run ./cmd/fesiabench -batchjson -quick
 
 # One-vs-many batch engine vs pairwise loop (writes BENCH_batch.json).
 batchbench:
 	$(GO) run ./cmd/fesiabench -batchjson
+
+# SIMD backend vs pure-Go pairing (writes BENCH_simd.json).
+simdbench:
+	$(GO) run ./cmd/fesiabench -simdjson
 
 ablation:
 	$(GO) test -bench=Ablation -benchmem .

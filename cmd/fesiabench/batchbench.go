@@ -24,6 +24,12 @@ import (
 	"fesia/internal/simd"
 )
 
+// batchParallelTolerance is how much slower than serial batch the
+// batch-parallel variant may measure before runBatchBench fails: the
+// work-size cutover should route any batch where the pool cannot pay for
+// itself onto the serial path, so a large gap means the cutover is broken.
+const batchParallelTolerance = 1.25
+
 // batchDistribution describes one corpus shape of the batch benchmark.
 type batchDistribution struct {
 	name string
@@ -106,6 +112,15 @@ func runBatchBench(path string, quick bool) ([]benchResult, error) {
 			}
 			pair, batch := results[len(results)-3], results[len(results)-2]
 			fmt.Printf("  %-28s %14.2fx\n", d.name+" batch speedup", pair.NsPerOp/batch.NsPerOp)
+			// Cutover gate: with the work-size cutover in CountManyParallel,
+			// batch-parallel must never be meaningfully slower than serial
+			// batch — small batches route to the serial path, large ones must
+			// win or tie. The tolerance absorbs timer noise at the
+			// microsecond scenarios.
+			if par := results[len(results)-1]; par.NsPerOp > batch.NsPerOp*batchParallelTolerance {
+				return nil, fmt.Errorf("%s: batch-parallel %.0f ns/op is %.2fx serial batch %.0f ns/op (tolerance %.2fx) — cutover regression",
+					par.Strategy, par.NsPerOp, par.NsPerOp/batch.NsPerOp, batch.NsPerOp, batchParallelTolerance)
+			}
 		}
 	}
 	return results, writeResults(path, results)

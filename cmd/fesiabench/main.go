@@ -117,6 +117,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	jsonOut := flag.Bool("json", false, "benchmark strategies (one-shot vs Executor) and write BENCH_intersect.json")
 	batchJSON := flag.Bool("batchjson", false, "benchmark the one-vs-many batch engine and write BENCH_batch.json")
+	simdJSON := flag.Bool("simdjson", false, "benchmark the assembly backend against pure Go and write BENCH_simd.json")
 	snapshot := flag.Bool("snapshot", false, "round-trip a corpus through the checksummed snapshot files and verify")
 	baseline := flag.String("baseline", "", "with -json/-batchjson: fail on >15% ns/op regression vs this baseline file")
 	statsDump := flag.Bool("stats", false, "enable the observability sink and dump the kernel-dispatch histogram after the run")
@@ -165,15 +166,19 @@ func main() {
 		}
 		return
 	}
-	if *jsonOut || *batchJSON {
+	if *jsonOut || *batchJSON || *simdJSON {
 		var results []benchResult
 		var err error
-		if *jsonOut {
+		switch {
+		case *jsonOut:
 			fmt.Printf("fesiabench: strategy micro-benchmarks (quick=%v)\n", *quick)
 			results, err = runJSONBench("BENCH_intersect.json", *quick)
-		} else {
+		case *batchJSON:
 			fmt.Printf("fesiabench: one-vs-many batch benchmarks (quick=%v)\n", *quick)
 			results, err = runBatchBench("BENCH_batch.json", *quick)
+		default:
+			fmt.Printf("fesiabench: SIMD backend benchmarks (quick=%v, backend=%s)\n", *quick, simd.Backend())
+			results, err = runSimdBench("BENCH_simd.json", *quick)
 		}
 		if err != nil {
 			log.Fatal(err)

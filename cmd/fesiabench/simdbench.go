@@ -1,0 +1,141 @@
+// SIMD backend benchmark mode (-simdjson): measures every dispatched assembly
+// routine against its pure-Go reference on the same inputs and writes paired
+// rows to BENCH_simd.json. Each routine appears twice — "<name>/asm" and
+// "<name>/go" — toggled via simd.SetAsmEnabled / kernels.UseAsmKernels, so
+// the file documents exactly what the assembly backend buys on the build
+// machine. The mode also enforces two structural gates at generation time:
+// the fused bitmap-filter kernel must beat the pure-Go loop by
+// simdFilterMinSpeedup, and the end-to-end merge count must not be slower
+// with the backend on. On machines without the backend the mode degrades to
+// writing go-only rows (gates skipped).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fesia/internal/core"
+	"fesia/internal/datasets"
+	"fesia/internal/kernels"
+	"fesia/internal/simd"
+)
+
+// simdFilterMinSpeedup is the acceptance floor for the fused bitmap-filter
+// microbenchmark: asm must be at least this many times faster than pure Go.
+const simdFilterMinSpeedup = 1.5
+
+// simdEndToEndMaxRatio caps the asm/go ns ratio of the end-to-end merge
+// count: the backend must deliver a measurable win, so asm may take at most
+// this fraction of the pure-Go time (a little above 1.0 would only allow
+// parity; 0.97 demands a real improvement while absorbing timer noise).
+const simdEndToEndMaxRatio = 0.97
+
+func runSimdBench(path string, quick bool) ([]benchResult, error) {
+	n := 200_000
+	if quick {
+		n = 20_000
+	}
+	rng := rand.New(rand.NewSource(3))
+
+	// Microbenchmark inputs: one 64 KiB bitmap pair per side for the fused
+	// filter, mixed-density words so the mask stream has structure.
+	const nblocks = 256
+	aw := make([]uint64, nblocks*simd.BlockWords)
+	bw := make([]uint64, nblocks*simd.BlockWords)
+	for i := range aw {
+		aw[i] = rng.Uint64() & rng.Uint64()
+		bw[i] = rng.Uint64() & rng.Uint64()
+	}
+	masks := make([]uint32, nblocks)
+
+	smallA := []uint32{3, 9, 17, 22, 31, 40, 51, 63}
+	smallB := []uint32{1, 9, 18, 22, 35, 40}
+	longList := make([]uint32, 48)
+	for i := range longList {
+		longList[i] = uint32(i * 3)
+	}
+
+	// End-to-end merge pair at the default config.
+	ab, bb := datasets.GenPairSelectivity(rng, n, n, 0.1, uint32(16*n))
+	sa := core.MustNewSet(ab, core.DefaultConfig())
+	sb := core.MustNewSet(bb, core.DefaultConfig())
+	ex := core.NewExecutor()
+
+	var sink int
+	cases := []benchCase{
+		{"filter-seg8", func() int { sink = simd.AndSegMasks(masks, aw, bw, 8); return sink }},
+		{"filter-seg16", func() int { sink = simd.AndSegMasks(masks, aw, bw, 16); return sink }},
+		{"filter-seg32", func() int { sink = simd.AndSegMasks(masks, aw, bw, 32); return sink }},
+		{"count-small", func() int { return simd.CountSmall(smallA, smallB) }},
+		{"contains-long", func() int {
+			hits := 0
+			for x := uint32(0); x < 64; x++ {
+				if simd.Contains(longList, x) {
+					hits++
+				}
+			}
+			return hits
+		}},
+		{"merge-count", func() int { return ex.CountMerge(sa, sb) }},
+	}
+
+	backends := []struct {
+		suffix string
+		on     bool
+	}{{"asm", true}, {"go", false}}
+
+	results := make([]benchResult, 0, 2*len(cases))
+	speed := make(map[string]map[string]float64, len(cases)) // name -> backend -> ns/op
+	for _, c := range cases {
+		speed[c.name] = make(map[string]float64, 2)
+		for _, be := range backends {
+			if be.on && !simd.HasAsm() {
+				continue
+			}
+			prevAsm := simd.SetAsmEnabled(be.on)
+			prevK := kernels.UseAsmKernels(be.on)
+			count := c.run() // warm up outside the measurement
+			r := testing.Benchmark(func(tb *testing.B) {
+				tb.ReportAllocs()
+				for i := 0; i < tb.N; i++ {
+					c.run()
+				}
+			})
+			kernels.UseAsmKernels(prevK)
+			simd.SetAsmEnabled(prevAsm)
+			name := c.name + "/" + be.suffix
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			speed[c.name][be.suffix] = ns
+			results = append(results, benchResult{
+				Strategy:    name,
+				NsPerOp:     ns,
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				Count:       count,
+			})
+			fmt.Printf("  %-24s %12.1f ns/op %6d allocs/op\n", name, ns, r.AllocsPerOp())
+		}
+		if g, ok := speed[c.name]["go"]; ok {
+			if a, ok := speed[c.name]["asm"]; ok {
+				fmt.Printf("  %-24s %12.2fx\n", c.name+" asm speedup", g/a)
+			}
+		}
+	}
+
+	if simd.HasAsm() {
+		for _, name := range []string{"filter-seg8", "filter-seg16", "filter-seg32"} {
+			if ratio := speed[name]["go"] / speed[name]["asm"]; ratio < simdFilterMinSpeedup {
+				return results, fmt.Errorf("%s: asm speedup %.2fx below the %.1fx floor", name, ratio, simdFilterMinSpeedup)
+			}
+		}
+		if ratio := speed["merge-count"]["asm"] / speed["merge-count"]["go"]; ratio > simdEndToEndMaxRatio {
+			return results, fmt.Errorf("merge-count: asm/go ratio %.3f exceeds %.2f — no end-to-end win", ratio, simdEndToEndMaxRatio)
+		}
+		fmt.Printf("\nstructural gates passed: filter >= %.1fx, end-to-end merge ratio <= %.2f (backend %s)\n",
+			simdFilterMinSpeedup, simdEndToEndMaxRatio, simd.Backend())
+	} else {
+		fmt.Println("\nassembly backend unavailable: wrote go-only rows, gates skipped")
+	}
+	return results, writeResults(path, results)
+}

@@ -225,6 +225,6 @@ func main() {
 		log.Printf("starting %d load workers", *load)
 		s.startLoad(context.Background(), *load, *delay)
 	}
-	log.Printf("serving on %s (/metrics, /debug/vars, /debug/pprof/, /query)", *addr)
+	log.Printf("serving on %s (backend %s; /metrics, /debug/vars, /debug/pprof/, /query)", *addr, fesia.Backend())
 	log.Fatal(http.ListenAndServe(*addr, nil))
 }

@@ -55,6 +55,7 @@ func TestServeMetricsSmoke(t *testing.T) {
 	}
 	text := string(body)
 	for _, want := range []string{
+		`fesia_build_info{backend=`,
 		`fesia_queries_total{strategy="merge"}`,
 		`fesia_query_latency_seconds_bucket`,
 		`fesia_query_latency_seconds_count`,

@@ -142,6 +142,10 @@ func ForEachIntersectingSegment(a, b *Bitmap, fn func(segA, segB int)) {
 	if a.mBits < b.mBits {
 		panic("bitmap: first bitmap must be the larger one")
 	}
+	if fastFilterOK(b, 0, len(a.words)) {
+		forEachSegFastRange(a, b, 0, len(a.words), fn)
+		return
+	}
 	spw := a.SegmentsPerWord()
 	if a.mBits == b.mBits {
 		for i, wa := range a.words {
@@ -186,6 +190,10 @@ func ForEachIntersectingSegmentRange(a, b *Bitmap, wordLo, wordHi int, fn func(s
 	if a.mBits < b.mBits {
 		panic("bitmap: first bitmap must be the larger one")
 	}
+	if fastFilterOK(b, wordLo, wordHi) {
+		forEachSegFastRange(a, b, wordLo, wordHi, fn)
+		return
+	}
 	spw := a.SegmentsPerWord()
 	// Word counts are powers of two, so wrapped indexing is a mask.
 	wordMask := len(b.words) - 1
@@ -223,6 +231,10 @@ func ForEachIntersectingSegmentK(maps []*Bitmap, fn func(segA int)) {
 			panic("bitmap: largest bitmap must come first")
 		}
 	}
+	if len(maps) >= 2 && simd.AsmActive() && len(a.words) >= 2*simd.BlockWords {
+		forEachSegKFastRange(maps, 0, len(a.words), fn)
+		return
+	}
 	spw := a.SegmentsPerWord()
 	for i, w := range a.words {
 		for _, bm := range maps[1:] {
@@ -258,6 +270,10 @@ func ForEachIntersectingSegmentKRange(maps []*Bitmap, wordLo, wordHi int, fn fun
 		if m.mBits > a.mBits {
 			panic("bitmap: largest bitmap must come first")
 		}
+	}
+	if len(maps) >= 2 && simd.AsmActive() && wordHi-wordLo >= 2*simd.BlockWords {
+		forEachSegKFastRange(maps, wordLo, wordHi, fn)
+		return
 	}
 	spw := a.SegmentsPerWord()
 	for i := wordLo; i < wordHi; i++ {

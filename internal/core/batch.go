@@ -69,7 +69,53 @@ func stageSegPairsRange(x, y *Set, recs []stagedSeg, wordLo, wordHi int) []stage
 	segShift := uint(simd.Tzcnt32(uint32(segBits))) // log2(segBits)
 	alignMask := segBits - 1
 
-	for i := wordLo; i < wordHi; i++ {
+	i := wordLo
+	if simd.AsmActive() && len(yw) >= simd.BlockWords && wordHi-wordLo >= 2*simd.BlockWords {
+		// Chunked mask-stream staging: same structure as countMergeRange's
+		// fast path, with staging records in place of kernel dispatch.
+		loDown := wordLo &^ (simd.BlockWords - 1)
+		hiUp := (wordHi + simd.BlockWords - 1) &^ (simd.BlockWords - 1)
+		var masks [coreChunkBlocks]uint32
+		for cb := loDown; cb < hiUp; {
+			nb := (hiUp - cb) / simd.BlockWords
+			if nb > coreChunkBlocks {
+				nb = coreChunkBlocks
+			}
+			live := simd.AndSegMasksWrap(masks[:nb], xw, yw, cb, segBits)
+			if live != 0 {
+				if cb < wordLo {
+					masks[0] &^= 1<<uint((wordLo-cb)*spw) - 1
+				}
+				if end := cb + nb*simd.BlockWords; end > wordHi {
+					masks[nb-1] &= 1<<uint((wordHi-(end-simd.BlockWords))*spw) - 1
+				}
+				for bi := 0; bi < nb; bi++ {
+					m := masks[bi]
+					if m == 0 {
+						continue
+					}
+					base := (cb + bi*simd.BlockWords) * spw
+					for m != 0 {
+						seg := base + simd.Tzcnt32(m)
+						m &= m - 1
+						segY := seg & segMaskY
+						oa, oaEnd := xo[seg], xo[seg+1]
+						ob, obEnd := yo[segY], yo[segY+1]
+						la := int(oaEnd - oa)
+						lb := int(obEnd - ob)
+						ctrl := stagedGeneric
+						if la <= d.Cap && lb <= d.Cap {
+							ctrl = int32(int(d.Round[la])<<d.Bits | int(d.Round[lb]))
+						}
+						recs = append(recs, stagedSeg{oa, oaEnd, ob, obEnd, ctrl})
+					}
+				}
+			}
+			cb += nb * simd.BlockWords
+		}
+		i = wordHi
+	}
+	for ; i < wordHi; i++ {
 		w := xw[i] & yw[i&wordMask]
 		if w == 0 {
 			continue
@@ -181,6 +227,17 @@ func recordStagedKernels(st *stats.Shard, recs []stagedSeg) {
 // of independent loads to overlap.
 const probeBlock = 128
 
+// containsCutover is the segment length above which survivor scans use the
+// assembly compare-all-lanes probe instead of the scalar early-exit scan —
+// two full ymm registers of elements, enough to amortize the masked tail.
+const containsCutover = 16
+
+// batchParallelMinWork is CountManyParallel's serial cutover: batches whose
+// estimated element work is below this run on the serial batch path. Sits
+// between the measured skewed/c256 regime (~256k units, serial wins by 1.5x)
+// and the uniform/c256 regime (~2M units, parallel starts paying off).
+const batchParallelMinWork = 1 << 19
+
 // probeRec is one surviving probe staged by phase 2: the probed element and
 // its target segment's half-open range in the large set's reordered array.
 type probeRec struct{ x, oa, oaEnd uint32 }
@@ -266,6 +323,20 @@ func hashProbeStaged(small, large *Set, stage []probeRec, dst []uint32, emit Vis
 func scanStage(recs []probeRec, reord, dst []uint32, emit Visitor, n int) int {
 	for _, r := range recs {
 		x := r.x
+		if seg := reord[r.oa:r.oaEnd]; simd.AsmActive() && len(seg) >= containsCutover {
+			// Long segments: the 8-lane compare probe beats the scalar
+			// early-exit scan once it has a few registers' worth to chew on.
+			if simd.Contains(seg, x) {
+				if dst != nil {
+					dst[n] = x
+				}
+				n++
+				if emit != nil {
+					emit(x)
+				}
+			}
+			continue
+		}
 		for _, v := range reord[r.oa:r.oaEnd] {
 			if v == x {
 				if dst != nil {
@@ -570,6 +641,24 @@ func (e *Executor) CountManyParallel(q *Set, candidates []*Set, out []int, worke
 		workers = len(candidates)
 	}
 	if workers <= 1 {
+		e.CountMany(q, candidates, out)
+		return
+	}
+	// Work-size cutover: a batch whose total work cannot amortize the pool
+	// hand-off runs serially on the warm batch path — at small scale the
+	// fork/join and per-worker cache re-warming cost more than they save
+	// (BENCH_batch.json's skewed/c256 regime). The proxy charges each
+	// candidate its strategy's dominant term: probes for the hash side,
+	// both segment streams for the merge side.
+	work := 0
+	for _, c := range candidates {
+		if useHash(q, c) {
+			work += min(q.n, c.n)
+		} else {
+			work += q.n + c.n
+		}
+	}
+	if work < batchParallelMinWork {
 		e.CountMany(q, candidates, out)
 		return
 	}

@@ -15,6 +15,11 @@ import (
 // skew of about 1/4.
 const SkewThreshold = 0.25
 
+// coreChunkBlocks sizes the stack mask buffer of the chunked fast paths in
+// countMergeRange and stageSegPairsRange: 256 blocks = 1024 bitmap words per
+// chunk, matching internal/bitmap's fast filter.
+const coreChunkBlocks = 256
+
 // CountMerge returns |a ∩ b| using the two-step FESIA algorithm
 // (Algorithm 1): bitmap-level AND, then specialized kernels on the
 // surviving segment pairs. This is the paper's FESIAmerge.
@@ -55,7 +60,62 @@ func countMergeRange(x, y *Set, lo, hi int, st, kst *stats.Shard) int {
 
 	n := 0
 	pairs := 0
-	for i := lo; i < hi; i++ {
+	i := lo
+	if simd.AsmActive() && len(yw) >= simd.BlockWords && hi-lo >= 2*simd.BlockWords {
+		// Chunked mask-stream fast path: the fused AndSegMasks kernel emits
+		// one live-segment mask per 4-word block into a stack buffer, and the
+		// kernel dispatch walks the mask stream. Range edges are handled by
+		// computing the full edge block and trimming out-of-range segment
+		// bits (the over-read stays inside the bitmap: word counts on this
+		// path are powers of two >= 2*BlockWords).
+		loDown := lo &^ (simd.BlockWords - 1)
+		hiUp := (hi + simd.BlockWords - 1) &^ (simd.BlockWords - 1)
+		var masks [coreChunkBlocks]uint32
+		for cb := loDown; cb < hiUp; {
+			nb := (hiUp - cb) / simd.BlockWords
+			if nb > coreChunkBlocks {
+				nb = coreChunkBlocks
+			}
+			live := simd.AndSegMasksWrap(masks[:nb], xw, yw, cb, segBits)
+			if live != 0 {
+				if cb < lo {
+					masks[0] &^= 1<<uint((lo-cb)*spw) - 1
+				}
+				if end := cb + nb*simd.BlockWords; end > hi {
+					masks[nb-1] &= 1<<uint((hi-(end-simd.BlockWords))*spw) - 1
+				}
+				for bi := 0; bi < nb; bi++ {
+					m := masks[bi]
+					if m == 0 {
+						continue
+					}
+					base := (cb + bi*simd.BlockWords) * spw
+					for m != 0 {
+						seg := base + simd.Tzcnt32(m)
+						m &= m - 1
+						segY := seg & segMaskY
+						oa, oaEnd := xo[seg], xo[seg+1]
+						ob, obEnd := yo[segY], yo[segY+1]
+						la := int(oaEnd - oa)
+						lb := int(obEnd - ob)
+						pairs++
+						if kst != nil {
+							kst.Kernel(la, lb)
+						}
+						if la > d.Cap || lb > d.Cap {
+							n += kernels.GenericCount(xr[oa:oaEnd], yr[ob:obEnd])
+							continue
+						}
+						ctrl := int(d.Round[la])<<d.Bits | int(d.Round[lb])
+						n += d.Count[ctrl](xr[oa:oaEnd], yr[ob:obEnd])
+					}
+				}
+			}
+			cb += nb * simd.BlockWords
+		}
+		i = hi
+	}
+	for ; i < hi; i++ {
 		w := xw[i] & yw[i&wordMask]
 		if w == 0 {
 			continue
@@ -154,6 +214,15 @@ func hashProbeRange(small, large *Set, lo, hi int, emit Visitor, st *stats.Shard
 		if seg := int(pos) >> segShift; seg != lastSeg {
 			lastSeg = seg
 			segList = reord[offs[seg]:offs[seg+1]]
+		}
+		if simd.AsmActive() && len(segList) >= containsCutover {
+			if simd.Contains(segList, x) {
+				n++
+				if emit != nil {
+					emit(x)
+				}
+			}
+			continue
 		}
 		for _, v := range segList {
 			if v == x {

@@ -1,0 +1,35 @@
+// Package cpuid probes, once at process start, the CPU features the real
+// SIMD backend needs (internal/simd's AVX2 assembly routines). The probe is
+// the runtime-dispatch half of the pattern production bitmap libraries use:
+// hand-written vector kernels selected once at init, with a portable scalar
+// fallback that is the only path on non-amd64 architectures or under the
+// `noasm` build tag.
+//
+// Feature detection follows the Intel SDM rules: a feature is usable only
+// when the CPU reports it AND the OS has enabled the matching register state
+// (OSXSAVE + XCR0 bits 1-2 for the ymm registers AVX2 uses).
+package cpuid
+
+// Feature flags, filled by the amd64 init (cpuid_amd64.go) and permanently
+// false elsewhere. They are written once before main and never mutated, so
+// reads need no synchronization.
+var (
+	// HasAVX2 reports AVX2 instructions with OS ymm-state support.
+	HasAVX2 bool
+	// HasBMI2 reports the BMI2 scalar bit-manipulation extension (PEXT).
+	HasBMI2 bool
+	// HasPOPCNT reports the POPCNT instruction.
+	HasPOPCNT bool
+)
+
+// Backend names the kernel backend the probe selects: "avx2" when the
+// assembly routines are eligible, "scalar" otherwise (non-amd64, the `noasm`
+// build tag, or a CPU/OS without AVX2+BMI2 support). internal/simd re-exports
+// this through its own Backend, which additionally reflects test-time
+// toggling.
+func Backend() string {
+	if HasAVX2 && HasBMI2 && HasPOPCNT {
+		return "avx2"
+	}
+	return "scalar"
+}

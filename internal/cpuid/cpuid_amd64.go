@@ -1,0 +1,33 @@
+//go:build amd64 && !noasm
+
+package cpuid
+
+// cpuid executes the CPUID instruction for (leaf, subleaf).
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	HasPOPCNT = ecx1&(1<<23) != 0
+	const osxsaveAVX = 1<<27 | 1<<28 // OSXSAVE | AVX
+	if ecx1&osxsaveAVX != osxsaveAVX {
+		return // no AVX, or the OS has not enabled XSAVE
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX/ymm) must both be OS-enabled.
+	xcr0, _ := xgetbv()
+	if xcr0&0x6 != 0x6 {
+		return
+	}
+	if maxLeaf < 7 {
+		return
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	HasAVX2 = ebx7&(1<<5) != 0
+	HasBMI2 = ebx7&(1<<8) != 0
+}

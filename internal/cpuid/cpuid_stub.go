@@ -1,0 +1,7 @@
+//go:build !amd64 || noasm
+
+package cpuid
+
+// No probe: every feature flag keeps its false zero value and Backend()
+// reports "scalar". This file is the whole of the `noasm` escape hatch at the
+// cpuid layer — internal/simd keys all dispatch off these flags.

@@ -1,0 +1,20 @@
+package cpuid
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestBackendConsistent(t *testing.T) {
+	b := Backend()
+	if b != "avx2" && b != "scalar" {
+		t.Fatalf("Backend() = %q, want avx2 or scalar", b)
+	}
+	if b == "avx2" && !(HasAVX2 && HasBMI2 && HasPOPCNT) {
+		t.Fatalf("Backend avx2 but flags AVX2=%v BMI2=%v POPCNT=%v", HasAVX2, HasBMI2, HasPOPCNT)
+	}
+	if runtime.GOARCH != "amd64" && b != "scalar" {
+		t.Fatalf("non-amd64 must report scalar, got %q", b)
+	}
+	t.Logf("backend=%s AVX2=%v BMI2=%v POPCNT=%v", b, HasAVX2, HasBMI2, HasPOPCNT)
+}

@@ -1,0 +1,96 @@
+package kernels
+
+import "fesia/internal/simd"
+
+// Jump-table patching for the assembly backend. The generated kernels emulate
+// the paper's vector ISA scalar-wise; when the real AVX2 backend is available,
+// the count entries for small nominal sizes (1..8 on both sides — one ymm
+// register of lanes) are rerouted to the broadcast-compare-count kernel in
+// internal/simd, which is the hardware form of the same Fig. 2 comparison
+// stream. Entries are patched in place, so every Dispatcher previously handed
+// out (internal/core caches slice headers per Set) picks up the fast routines
+// with no re-wiring and no allocation on the query path.
+//
+// Only count entries are patched: the materializing (Intersect/Visit) kernels
+// must emit elements in order, which the lane-parallel compare does not
+// produce without a compress step — see ROADMAP "Open items".
+
+// asmPatchMax is the largest nominal size (per side) routed to the assembly
+// kernel: 8 lanes = one ymm register for the masked-loaded side.
+const asmPatchMax = 8
+
+type savedCountEntry struct {
+	table *Table
+	ctrl  int
+	orig  CountFunc
+}
+
+var (
+	asmKernelsOn bool
+	asmSaved     []savedCountEntry
+)
+
+// UseAsmKernels switches the small-size count entries of every generated
+// table to the assembly broadcast-compare kernel (on=true) or restores the
+// original generated bodies (on=false). Enabling is a no-op when the backend
+// is not compiled in or the CPU lacks support. Like simd.SetAsmEnabled it is
+// test/benchmark plumbing: not synchronized, and must not race with queries.
+// It returns the previous state.
+func UseAsmKernels(on bool) bool {
+	prev := asmKernelsOn
+	if on == prev {
+		return prev
+	}
+	if on {
+		if !simd.HasAsm() {
+			return prev
+		}
+		for _, t := range Tables() {
+			patchTable(t)
+		}
+		asmKernelsOn = true
+		return prev
+	}
+	for _, s := range asmSaved {
+		s.table.count[s.ctrl] = s.orig
+	}
+	asmSaved = asmSaved[:0]
+	asmKernelsOn = false
+	return prev
+}
+
+// AsmKernelsActive reports whether the jump tables currently route small
+// count entries to the assembly kernel.
+func AsmKernelsActive() bool { return asmKernelsOn }
+
+func patchTable(t *Table) {
+	maxN := asmPatchMax
+	if t.cap < maxN {
+		maxN = t.cap
+	}
+	for na := 1; na <= maxN; na++ {
+		for nb := 1; nb <= maxN; nb++ {
+			ctrl := na<<t.bits | nb
+			if ctrl >= len(t.count) || t.count[ctrl] == nil {
+				continue
+			}
+			orig := t.count[ctrl]
+			asmSaved = append(asmSaved, savedCountEntry{t, ctrl, orig})
+			// The wrapper re-checks AsmActive so simd.SetAsmEnabled(false)
+			// (benchmark pairing) falls back to the original generated body,
+			// not merely a scalar merge.
+			t.count[ctrl] = func(a, b []uint32) int {
+				if simd.AsmActive() {
+					return simd.CountSmall(a, b)
+				}
+				return orig(a, b)
+			}
+		}
+	}
+}
+
+func init() {
+	if simd.HasAsm() {
+		UseAsmKernels(true)
+	}
+}

@@ -1,0 +1,124 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"fesia/internal/simd"
+)
+
+// randSmall builds a sorted duplicate-free set of length n from a small span,
+// so intersections are non-trivial.
+func randSmall(rng *rand.Rand, n int, span uint32) []uint32 {
+	seen := make(map[uint32]bool, n)
+	out := make([]uint32, 0, n)
+	for len(out) < n {
+		v := rng.Uint32() % span
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// TestAsmKernelsParity drives every table's Count through the patched jump
+// table and compares with the original generated kernels across all size
+// pairs the patch covers (plus a margin beyond, to check fall-through).
+func TestAsmKernelsParity(t *testing.T) {
+	if !simd.HasAsm() {
+		t.Skip("assembly backend not available")
+	}
+	prevPatch := UseAsmKernels(true)
+	prevAsm := simd.SetAsmEnabled(true)
+	defer func() {
+		simd.SetAsmEnabled(prevAsm)
+		UseAsmKernels(prevPatch)
+	}()
+
+	rng := rand.New(rand.NewSource(11))
+	for _, tab := range Tables() {
+		limit := tab.Cap()
+		if limit > 12 {
+			limit = 12
+		}
+		for sa := 0; sa <= limit; sa++ {
+			for sb := 0; sb <= limit; sb++ {
+				for trial := 0; trial < 20; trial++ {
+					span := uint32(4 + rng.Intn(28))
+					if int(span) < sa || int(span) < sb {
+						span = uint32(max(sa, sb) + 1)
+					}
+					a := randSmall(rng, sa, span)
+					b := randSmall(rng, sb, span)
+					got := tab.Count(a, b)
+					want := GenericCount(a, b)
+					if got != want {
+						t.Fatalf("table(w=%v stride=%d) sa=%d sb=%d a=%v b=%v: patched=%d want=%d",
+							tab.Width(), tab.Stride(), sa, sb, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUseAsmKernelsRestores checks that disabling the patch restores the
+// original function values and that toggling is idempotent.
+func TestUseAsmKernelsRestores(t *testing.T) {
+	if !simd.HasAsm() {
+		t.Skip("assembly backend not available")
+	}
+	prev := UseAsmKernels(true)
+	defer UseAsmKernels(prev)
+	if !AsmKernelsActive() {
+		t.Fatal("UseAsmKernels(true) did not activate")
+	}
+	UseAsmKernels(false)
+	if AsmKernelsActive() {
+		t.Fatal("UseAsmKernels(false) did not deactivate")
+	}
+	// After restore the tables still count correctly.
+	a := []uint32{1, 3, 5, 7}
+	b := []uint32{3, 4, 5, 9}
+	for _, tab := range Tables() {
+		if got := tab.Count(a, b); got != 2 {
+			t.Fatalf("restored table(w=%v stride=%d).Count = %d, want 2", tab.Width(), tab.Stride(), got)
+		}
+	}
+	// Double-enable / double-disable are no-ops.
+	UseAsmKernels(false)
+	UseAsmKernels(true)
+	UseAsmKernels(true)
+	for _, tab := range Tables() {
+		if got := tab.Count(a, b); got != 2 {
+			t.Fatalf("re-patched table(w=%v stride=%d).Count = %d, want 2", tab.Width(), tab.Stride(), got)
+		}
+	}
+}
+
+// TestPatchedTablesFallBackWhenAsmOff checks the wrapper honors
+// simd.SetAsmEnabled(false) by routing back to the generated kernels.
+func TestPatchedTablesFallBackWhenAsmOff(t *testing.T) {
+	if !simd.HasAsm() {
+		t.Skip("assembly backend not available")
+	}
+	prevPatch := UseAsmKernels(true)
+	prevAsm := simd.SetAsmEnabled(false)
+	defer func() {
+		simd.SetAsmEnabled(prevAsm)
+		UseAsmKernels(prevPatch)
+	}()
+	a := []uint32{2, 4, 6}
+	b := []uint32{1, 4, 6, 8}
+	for _, tab := range Tables() {
+		if got := tab.Count(a, b); got != 2 {
+			t.Fatalf("asm-off table(w=%v stride=%d).Count = %d, want 2", tab.Width(), tab.Stride(), got)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+//go:build amd64 && !noasm
+
+package simd
+
+import "fesia/internal/cpuid"
+
+// The AVX2 backend needs AVX2 (ymm VPAND/VPCMPEQ/VPMOVMSKB), BMI2 (PEXT in
+// the 16-bit segment transformation) and POPCNT. Every AVX2 CPU since
+// Haswell has all three.
+var asmCapable = cpuid.HasAVX2 && cpuid.HasBMI2 && cpuid.HasPOPCNT
+
+// asmOn is the live dispatch switch. It starts at asmCapable and is only
+// mutated by SetAsmEnabled (benchmarks and parity tests); it must not be
+// toggled while queries are in flight.
+var asmOn = asmCapable
+
+// HasAsm reports whether the assembly backend is compiled in and the CPU/OS
+// support it, independent of test-time toggling.
+func HasAsm() bool { return asmCapable }
+
+// AsmActive reports whether dispatched entry points currently take the
+// assembly fast path.
+func AsmActive() bool { return asmOn }
+
+// SetAsmEnabled switches the assembly backend on or off at run time and
+// returns the previous state. Enabling is a no-op when the CPU lacks support.
+// For benchmarks and parity tests only: not synchronized, so it must not race
+// with queries.
+func SetAsmEnabled(on bool) bool {
+	prev := asmOn
+	asmOn = on && asmCapable
+	return prev
+}
+
+// Backend names the active kernel backend: "avx2" or "scalar".
+func Backend() string {
+	if asmOn {
+		return "avx2"
+	}
+	return "scalar"
+}
+
+// Assembly routine declarations (simd_amd64.s). All operate on raw pointers
+// so the hot paths stay free of slice-header traffic; wrappers below bind
+// them to slices.
+
+//go:noescape
+func andSegMask8AVX2(masks *uint32, a, b *uint64, nblocks int) int
+
+//go:noescape
+func andSegMask16AVX2(masks *uint32, a, b *uint64, nblocks int) int
+
+//go:noescape
+func andSegMask32AVX2(masks *uint32, a, b *uint64, nblocks int) int
+
+//go:noescape
+func andWordsAVX2(dst, a, b *uint64, nblocks int) int
+
+//go:noescape
+func countSmallAVX2(a *uint32, la int, b *uint32, lb int) int
+
+//go:noescape
+func containsAVX2(b *uint32, lb int, x uint32) int
+
+func andSegMasksAsm(masks []uint32, a, b []uint64, segBits int) int {
+	switch segBits {
+	case 8:
+		return andSegMask8AVX2(&masks[0], &a[0], &b[0], len(masks))
+	case 16:
+		return andSegMask16AVX2(&masks[0], &a[0], &b[0], len(masks))
+	case 32:
+		return andSegMask32AVX2(&masks[0], &a[0], &b[0], len(masks))
+	default:
+		panic("simd: AndSegMasks unsupported segment size")
+	}
+}
+
+// andWordsBlocks runs the vector AND over nblocks 4-word blocks, returning
+// the non-zero word count of that prefix.
+func andWordsBlocks(dst, a, b []uint64, nblocks int) int {
+	return andWordsAVX2(&dst[0], &a[0], &b[0], nblocks)
+}
+
+// countSmallAsm dispatches the broadcast-compare kernel with the shorter
+// side as the register side; ok is false when neither side fits 8 lanes.
+func countSmallAsm(a, b []uint32) (int, bool) {
+	if len(b) <= 8 {
+		return countSmallAVX2(&a[0], len(a), &b[0], len(b)), true
+	}
+	if len(a) <= 8 {
+		return countSmallAVX2(&b[0], len(b), &a[0], len(a)), true
+	}
+	return 0, false
+}
+
+func containsAsmDispatch(list []uint32, x uint32) bool {
+	return containsAVX2(&list[0], len(list), x) != 0
+}

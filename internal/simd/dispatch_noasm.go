@@ -1,0 +1,37 @@
+//go:build !amd64 || noasm
+
+package simd
+
+// Scalar-only build: no assembly backend exists, dispatch is compiled out,
+// and every entry point takes the pure-Go reference path. This file is the
+// `noasm` escape hatch (and the default on non-amd64 architectures).
+
+// HasAsm reports whether the assembly backend is compiled in: never, here.
+func HasAsm() bool { return false }
+
+// AsmActive is constant false so the compiler removes the fast-path branches.
+func AsmActive() bool { return false }
+
+// SetAsmEnabled is a no-op on scalar-only builds; it reports the (always
+// false) previous state.
+func SetAsmEnabled(bool) bool { return false }
+
+// Backend names the active kernel backend: always "scalar" here.
+func Backend() string { return "scalar" }
+
+// The stubs below keep the dispatching call sites compiling; AsmActive() is
+// false, so they are unreachable.
+
+func andSegMasksAsm(masks []uint32, a, b []uint64, segBits int) int {
+	return AndSegMasksGeneric(masks, a, b, segBits)
+}
+
+func andWordsBlocks(dst, a, b []uint64, nblocks int) int {
+	panic("simd: no assembly backend")
+}
+
+func countSmallAsm(a, b []uint32) (int, bool) { return 0, false }
+
+func containsAsmDispatch(list []uint32, x uint32) bool {
+	panic("simd: no assembly backend")
+}

@@ -14,6 +14,11 @@ func AndWords(dst, a, b []uint64) int {
 	}
 	nonZero := 0
 	i := 0
+	if AsmActive() && len(a) >= BlockWords {
+		nblocks := len(a) / BlockWords
+		nonZero = andWordsBlocks(dst, a, b, nblocks)
+		i = nblocks * BlockWords
+	}
 	// Unrolled by 8 words (512 bits) — one emulated zmm op per group.
 	for ; i+8 <= len(a); i += 8 {
 		w0 := a[i] & b[i]

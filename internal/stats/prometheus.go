@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"fesia/internal/simd"
 )
 
 // promCounter maps a Counter to its Prometheus series. Counters sharing a
@@ -41,6 +43,15 @@ var promCounters = [NumCounters]promSeries{
 // native power-of-two buckets as cumulative `le` buckets in seconds; the
 // kernel-dispatch histogram is exported as a labelled counter family.
 func WritePrometheus(w io.Writer, s *Snapshot) error {
+	// Build-info gauge: a constant 1 whose labels identify the intersection
+	// backend actually dispatching in this process ("avx2" when the assembly
+	// routines are active, "scalar" for the pure-Go reference). Scrapers join
+	// it against the query counters to attribute performance shifts to the
+	// backend in play.
+	if _, err := fmt.Fprintf(w, "# HELP fesia_build_info Constant 1, labelled with the active intersection backend.\n# TYPE fesia_build_info gauge\nfesia_build_info{backend=%q} 1\n", simd.Backend()); err != nil {
+		return err
+	}
+
 	// Counters, grouped so each family's HELP/TYPE header appears once.
 	lastFamily := ""
 	for c := Counter(0); c < NumCounters; c++ {

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"fesia/internal/core"
+	"fesia/internal/simd"
 	"fesia/internal/stats"
 )
 
@@ -56,6 +57,13 @@ const (
 	CtrSnapshotWrites  = stats.CtrSnapshotWrites
 	CtrSnapshotReads   = stats.CtrSnapshotReads
 )
+
+// Backend reports which intersection backend this process dispatches to:
+// "avx2" when the hand-written assembly routines are active (amd64 with AVX2,
+// BMI2 and POPCNT, not built with -tags=noasm), "scalar" for the pure-Go
+// reference path. The same string is exported on /metrics as the
+// fesia_build_info gauge's backend label.
+func Backend() string { return simd.Backend() }
 
 // EnableStats turns the observability layer on process-wide and returns the
 // snapshot of nothing-yet-recorded. Executors created afterwards (including
