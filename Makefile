@@ -15,19 +15,25 @@ check:
 	fi
 	$(GO) test -race ./...
 
-# Static analysis only: formatting drift, go vet, and staticcheck when the
-# binary is on PATH (it is optional locally; the CI lint job installs it).
+# Static analysis: formatting drift, go vet, and staticcheck — required, not
+# optional. The binary is resolved from PATH first, then GOPATH/bin, so the
+# CI lint job's plain `go install` works without PATH surgery; a missing
+# binary fails the target with the install command instead of silently
+# skipping the strictest linter.
+STATICCHECK := $(shell command -v staticcheck 2>/dev/null || echo "$$(go env GOPATH)/bin/staticcheck")
+
 lint:
 	@fmtout="$$(gofmt -l .)"; \
 	if [ -n "$$fmtout" ]; then \
 		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; \
 	fi
 	$(GO) vet ./...
-	@if command -v staticcheck >/dev/null 2>&1; then \
-		staticcheck ./...; \
-	else \
-		echo "staticcheck not installed; skipped (CI runs it)"; \
+	@if [ ! -x "$(STATICCHECK)" ]; then \
+		echo "error: staticcheck not found; install it with:"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@latest"; \
+		exit 1; \
 	fi
+	$(STATICCHECK) ./...
 
 build:
 	$(GO) build ./...
@@ -48,19 +54,24 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
-# Benchmark regression gate, three parts:
+# Benchmark regression gate, four parts:
 #   1. strategy micro-benchmarks vs the committed baseline (>15% ns/op fails);
 #   2. SIMD backend pairing — every asm routine vs its pure-Go reference,
 #      with built-in structural gates (fused filter >= 1.5x, end-to-end merge
 #      must win) and BENCH_simd.json regenerated;
 #   3. the batch cutover scenario — batch-parallel must not be meaningfully
-#      slower than serial batch on any scenario (built-in gate in -batchjson).
+#      slower than serial batch on any scenario (built-in gate in -batchjson);
+#   4. hybrid representations vs all-segmented — >= 3x bytes/element on the
+#      sparse-heavy corpus and >= 1.2x CountMany throughput on the
+#      dense-heavy corpus (built-in gates in -hybridjson, BENCH_hybrid.json
+#      regenerated).
 # Regenerate the micro baseline after intentional performance changes with:
 #   $(GO) run ./cmd/fesiabench -json -quick && cp BENCH_intersect.json BENCH_baseline.json
 benchcheck:
 	$(GO) run ./cmd/fesiabench -json -quick -baseline BENCH_baseline.json
 	$(GO) run ./cmd/fesiabench -simdjson -quick
 	$(GO) run ./cmd/fesiabench -batchjson -quick
+	$(GO) run ./cmd/fesiabench -hybridjson -quick
 
 # One-vs-many batch engine vs pairwise loop (writes BENCH_batch.json).
 batchbench:
@@ -73,10 +84,12 @@ simdbench:
 ablation:
 	$(GO) test -bench=Ablation -benchmem .
 
-# Short differential fuzzing session for the intersection strategies and the
+# Short differential fuzzing session for the intersection strategies (both
+# segmented-only and the cross-representation dispatch matrix) and the
 # snapshot deserializers.
 fuzz:
 	$(GO) test ./internal/core -fuzz=FuzzIntersect -fuzztime=30s
+	$(GO) test ./internal/core -fuzz=FuzzHybridIntersect -fuzztime=30s
 	$(GO) test ./internal/core -fuzz=FuzzReadSet -fuzztime=30s
 	$(GO) test ./internal/core -fuzz=FuzzReadCorpus -fuzztime=30s
 	$(GO) test ./internal/kernels -fuzz=FuzzTableCount -fuzztime=30s

@@ -1,0 +1,217 @@
+// Hybrid representation benchmark mode (-hybridjson): measures what the
+// per-set representation heuristic (Config.Rep = RepAuto) buys over the
+// all-segmented baseline on three corpus shapes, and writes
+// BENCH_hybrid.json. Each scenario is built twice — once forced
+// all-segmented, once with RepAuto — and both the memory footprint
+// (bytes per element across the corpus) and the one-vs-many query time
+// (Executor.CountMany over the whole corpus) are measured on each build.
+//
+//   - sparse-heavy: thousands of tiny sets scattered over a 2^30 universe.
+//     RepAuto turns them into sorted arrays (4 bytes/element, no bitmap);
+//     the gate requires the corpus to shrink by >= 3x.
+//   - dense-heavy: sets packing 1/8 of a narrow value window. RepAuto turns
+//     them into dense bitmaps and every intersection collapses to word-AND +
+//     popcount; the gate requires >= 1.2x query throughput.
+//   - uniform: the segmented structure's home turf (moderate density over a
+//     wide span). RepAuto keeps every set segmented; reported for parity,
+//     no gate beyond the representations matching.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"fesia/internal/core"
+	"fesia/internal/datasets"
+	"fesia/internal/simd"
+)
+
+// Hybrid gates: committed BENCH_hybrid.json must show at least these wins,
+// and `make benchcheck` re-measures them.
+const (
+	hybridMemGate   = 3.0 // sparse-heavy: segmented/hybrid bytes-per-element
+	hybridSpeedGate = 1.2 // dense-heavy: segmented/hybrid CountMany ns/op
+)
+
+// hybridResult is one row of BENCH_hybrid.json: one (scenario, variant)
+// corpus build with its memory footprint and batch query time.
+type hybridResult struct {
+	Scenario     string  `json:"scenario"`
+	Variant      string  `json:"variant"` // "segmented" or "hybrid"
+	Sets         int     `json:"sets"`
+	Elements     int     `json:"elements"`
+	BytesPerElem float64 `json:"bytes_per_elem"`
+	NsPerOp      float64 `json:"ns_per_op"` // one CountMany over the corpus
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	Count        int     `json:"count"` // total matches, sanity anchor
+	RepArray     int     `json:"rep_array"`
+	RepDense     int     `json:"rep_dense"`
+	RepSegmented int     `json:"rep_segmented"`
+}
+
+// hybridScenario generates one corpus shape: a query list plus candidate
+// lists.
+type hybridScenario struct {
+	name  string
+	query []uint32
+	cands [][]uint32
+}
+
+func hybridScenarios(quick bool) []hybridScenario {
+	scale := 1
+	if quick {
+		scale = 4
+	}
+	rng := rand.New(rand.NewSource(17))
+
+	// sparse-heavy: tiny sets scattered across a wide universe.
+	nSparse := 2048 / scale
+	sparse := make([][]uint32, nSparse)
+	for i := range sparse {
+		sparse[i] = datasets.GenSorted(rng, 16+rng.Intn(241), 1<<30)
+	}
+	sparseQ := datasets.GenSorted(rng, 8192/scale, 1<<30)
+
+	// dense-heavy: every set fills 1/8 of one narrow 2^15 window, so the
+	// span per element (8 bits) is far under the dense threshold (16).
+	nDense := 256 / scale
+	dense := make([][]uint32, nDense)
+	for i := range dense {
+		dense[i] = datasets.GenSorted(rng, 4096, 1<<15)
+	}
+	denseQ := datasets.GenSorted(rng, 4096, 1<<15)
+
+	// uniform: moderate sets over a wide span — segmented territory.
+	nUniform := 128 / scale
+	uniform := make([][]uint32, nUniform)
+	for i := range uniform {
+		uniform[i] = datasets.GenSorted(rng, 4096, 1<<21)
+	}
+	uniformQ := datasets.GenSorted(rng, 4096, 1<<21)
+
+	return []hybridScenario{
+		{"sparse-heavy", sparseQ, sparse},
+		{"dense-heavy", denseQ, dense},
+		{"uniform", uniformQ, uniform},
+	}
+}
+
+// buildHybridCorpus builds the query and candidates with one forced
+// representation knob and reports the corpus footprint.
+func buildHybridCorpus(sc hybridScenario, rep core.Rep) (q *core.Set, cands []*core.Set, res hybridResult, err error) {
+	cfg := core.Config{Width: simd.WidthAVX, Rep: rep}
+	all := make([][]uint32, 0, len(sc.cands)+1)
+	all = append(all, sc.query)
+	all = append(all, sc.cands...)
+	sets, err := core.BuildSets(all, cfg)
+	if err != nil {
+		return nil, nil, res, err
+	}
+	q, cands = sets[0], sets[1:]
+	totalBytes, totalElems := 0, 0
+	for _, s := range sets {
+		totalBytes += s.MemoryBytes()
+		totalElems += s.Len()
+		switch s.Rep() {
+		case core.RepArray:
+			res.RepArray++
+		case core.RepDense:
+			res.RepDense++
+		default:
+			res.RepSegmented++
+		}
+	}
+	res.Scenario = sc.name
+	res.Sets = len(sets)
+	res.Elements = totalElems
+	res.BytesPerElem = float64(totalBytes) / float64(totalElems)
+	return q, cands, res, nil
+}
+
+func runHybridBench(path string, quick bool) error {
+	variants := []struct {
+		name string
+		rep  core.Rep
+	}{
+		{"segmented", core.RepSegmented},
+		{"hybrid", core.RepAuto},
+	}
+	var rows []hybridResult
+	for _, sc := range hybridScenarios(quick) {
+		perVariant := make([]hybridResult, 0, len(variants))
+		for _, v := range variants {
+			q, cands, res, err := buildHybridCorpus(sc, v.rep)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", sc.name, v.name, err)
+			}
+			res.Variant = v.name
+			ex := core.NewExecutor()
+			out := make([]int, len(cands))
+			run := func() int {
+				ex.CountMany(q, cands, out)
+				n := 0
+				for _, c := range out {
+					n += c
+				}
+				return n
+			}
+			res.Count = run() // warm executor scratch outside the measurement
+			r := testing.Benchmark(func(tb *testing.B) {
+				tb.ReportAllocs()
+				for i := 0; i < tb.N; i++ {
+					run()
+				}
+			})
+			res.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+			res.AllocsPerOp = r.AllocsPerOp()
+			fmt.Printf("  %-24s %10.2f B/elem %14.1f ns/op %6d allocs/op  (seg=%d arr=%d dense=%d)\n",
+				sc.name+"/"+v.name, res.BytesPerElem, res.NsPerOp, res.AllocsPerOp,
+				res.RepSegmented, res.RepArray, res.RepDense)
+			perVariant = append(perVariant, res)
+		}
+		seg, hyb := perVariant[0], perVariant[1]
+		if seg.Count != hyb.Count {
+			return fmt.Errorf("%s: hybrid corpus counts %d matches, segmented %d — representations disagree",
+				sc.name, hyb.Count, seg.Count)
+		}
+		memRatio := seg.BytesPerElem / hyb.BytesPerElem
+		speedRatio := seg.NsPerOp / hyb.NsPerOp
+		fmt.Printf("  %-24s mem %5.2fx  speed %5.2fx\n", sc.name+" hybrid vs seg", memRatio, speedRatio)
+		switch sc.name {
+		case "sparse-heavy":
+			if memRatio < hybridMemGate {
+				return fmt.Errorf("sparse-heavy memory ratio %.2fx below the %.1fx gate (seg %.2f B/elem, hybrid %.2f B/elem)",
+					memRatio, hybridMemGate, seg.BytesPerElem, hyb.BytesPerElem)
+			}
+			if hyb.RepArray < len(hybridScenarios(quick)[0].cands) {
+				return fmt.Errorf("sparse-heavy: heuristic picked only %d arrays", hyb.RepArray)
+			}
+		case "dense-heavy":
+			if speedRatio < hybridSpeedGate {
+				return fmt.Errorf("dense-heavy speed ratio %.2fx below the %.1fx gate (seg %.0f ns/op, hybrid %.0f ns/op)",
+					speedRatio, hybridSpeedGate, seg.NsPerOp, hyb.NsPerOp)
+			}
+			if hyb.RepDense != hyb.Sets {
+				return fmt.Errorf("dense-heavy: heuristic picked dense for %d of %d sets", hyb.RepDense, hyb.Sets)
+			}
+		case "uniform":
+			if hyb.RepSegmented != hyb.Sets {
+				return fmt.Errorf("uniform: heuristic left %d of %d sets segmented", hyb.RepSegmented, hyb.Sets)
+			}
+		}
+		rows = append(rows, seg, hyb)
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}

@@ -118,6 +118,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "benchmark strategies (one-shot vs Executor) and write BENCH_intersect.json")
 	batchJSON := flag.Bool("batchjson", false, "benchmark the one-vs-many batch engine and write BENCH_batch.json")
 	simdJSON := flag.Bool("simdjson", false, "benchmark the assembly backend against pure Go and write BENCH_simd.json")
+	hybridJSON := flag.Bool("hybridjson", false, "benchmark hybrid per-set representations against all-segmented and write BENCH_hybrid.json")
 	snapshot := flag.Bool("snapshot", false, "round-trip a corpus through the checksummed snapshot files and verify")
 	baseline := flag.String("baseline", "", "with -json/-batchjson: fail on >15% ns/op regression vs this baseline file")
 	statsDump := flag.Bool("stats", false, "enable the observability sink and dump the kernel-dispatch histogram after the run")
@@ -162,6 +163,13 @@ func main() {
 	if *snapshot {
 		fmt.Printf("fesiabench: snapshot round trip (quick=%v)\n", *quick)
 		if err := runSnapshot(*quick); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *hybridJSON {
+		fmt.Printf("fesiabench: hybrid representation benchmarks (quick=%v)\n", *quick)
+		if err := runHybridBench("BENCH_hybrid.json", *quick); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -17,6 +17,28 @@ const (
 	AVX512 = simd.WidthAVX512
 )
 
+// Rep identifies a set's physical representation. A corpus may freely mix
+// representations: every intersection entry point accepts any pair.
+type Rep = core.Rep
+
+// Supported representations (see WithRepresentation).
+const (
+	// RepAuto picks the representation per set by a density/size heuristic:
+	// tiny sets become sorted arrays, sets dense in their value span become
+	// plain bitmaps, everything else gets the paper's segmented bitmap.
+	RepAuto = core.RepAuto
+	// RepSegmented forces the FESIA segmented-bitmap structure (Fig. 1) —
+	// the default, and the historical behavior.
+	RepSegmented = core.RepSegmented
+	// RepArray forces the sorted-array representation: 4 bytes per element,
+	// intersected with SIMD jump-table kernels.
+	RepArray = core.RepArray
+	// RepDense forces the dense-bitmap representation: one bit per value in
+	// the set's span, intersected by word-AND + popcount. Empty sets fall
+	// back to arrays (the dense form has no empty encoding).
+	RepDense = core.RepDense
+)
+
 // Set is an immutable FESIA set: a segmented bitmap plus the reordered
 // element array (Fig. 1 of the paper). Build once, intersect many times;
 // Sets are safe for concurrent use.
@@ -58,6 +80,15 @@ func WithSeed(seed uint64) Option {
 // Strides above 1 require AVX512.
 func WithKernelStride(stride int) Option {
 	return func(c *core.Config) { c.Stride = stride }
+}
+
+// WithRepresentation selects the physical representation: RepSegmented (the
+// default), RepArray, RepDense, or RepAuto to pick per set by the
+// density/size heuristic. Sets of different representations intersect freely
+// with each other — the knob trades memory for intersection strategy, not
+// compatibility.
+func WithRepresentation(r Rep) Option {
+	return func(c *core.Config) { c.Rep = r }
 }
 
 // Build preprocesses elems (unsorted, duplicates allowed) into a Set.
@@ -112,8 +143,13 @@ func (s *Set) Contains(x uint32) bool { return s.inner.Contains(x) }
 // Elements returns the distinct elements in ascending order.
 func (s *Set) Elements() []uint32 { return s.inner.Elements() }
 
-// BitmapBits returns m, the size of the set's bitmap in bits.
+// BitmapBits returns m, the size of the set's bitmap in bits (0 for array
+// sets; the span cover for dense sets).
 func (s *Set) BitmapBits() uint64 { return s.inner.BitmapBits() }
+
+// Representation returns the set's physical representation — what RepAuto
+// actually chose, or the representation that was forced at build time.
+func (s *Set) Representation() Rep { return s.inner.Rep() }
 
 // MemoryBytes returns the approximate footprint of the structure.
 func (s *Set) MemoryBytes() int { return s.inner.MemoryBytes() }

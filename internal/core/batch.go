@@ -261,20 +261,6 @@ type probeRec struct{ x, oa, oaEnd uint32 }
 // non-nil, receives the probe/survivor counters at block granularity (the
 // block compaction rate of the staged probe).
 func hashProbeStaged(small, large *Set, stage []probeRec, dst []uint32, emit Visitor, st *stats.Shard) (int, uint32) {
-	// Tiny inputs can't amortize a staging block, and their overwhelmingly
-	// missing probes are exactly what the scalar loop's branch predictor
-	// eats for free; route them there.
-	if small.n < probeBlock {
-		if dst != nil {
-			k := 0
-			hashProbeRange(small, large, 0, small.n, func(x uint32) {
-				dst[k] = x
-				k++
-			}, st)
-			return k, 0
-		}
-		return hashProbeRange(small, large, 0, small.n, emit, st), 0
-	}
 	lb := large.bm
 	words := lb.Words()
 	mBits := lb.Bits()
@@ -476,6 +462,8 @@ func (e *Executor) CountMany(q *Set, candidates []*Set, out []int) {
 		switch {
 		case c.n == 0 || q.n == 0:
 			out[i] = 0
+		case crossPair(q, c):
+			out[i] = crossRun(&e.denseAnd, q, c, nil, nil, st)
 		case useHash(q, c):
 			small, large := q, c
 			if small.n > large.n {
@@ -526,6 +514,8 @@ func (e *Executor) IntersectManyInto(dst []uint32, counts []int, q *Set, candida
 		switch {
 		case c.n == 0 || q.n == 0:
 			// nothing to write
+		case crossPair(q, c):
+			n = crossRun(&e.denseAnd, q, c, dst[total:], nil, st)
 		case useHash(q, c):
 			small, large := q, c
 			if small.n > large.n {
@@ -581,6 +571,8 @@ func (e *Executor) VisitMany(q *Set, candidates []*Set, emit func(candidate int,
 		switch {
 		case c.n == 0 || q.n == 0:
 			// nothing to emit
+		case crossPair(q, c):
+			crossRun(&e.denseAnd, q, c, nil, emit1, st)
 		case useHash(q, c):
 			small, large := q, c
 			if small.n > large.n {
@@ -652,9 +644,12 @@ func (e *Executor) CountManyParallel(q *Set, candidates []*Set, out []int, worke
 	// both segment streams for the merge side.
 	work := 0
 	for _, c := range candidates {
-		if useHash(q, c) {
+		switch {
+		case crossPair(q, c):
+			work += q.n + c.n
+		case useHash(q, c):
 			work += min(q.n, c.n)
-		} else {
+		default:
 			work += q.n + c.n
 		}
 	}
@@ -694,6 +689,8 @@ func (e *Executor) CountManyParallel(q *Set, candidates []*Set, out []int, worke
 			switch {
 			case c.n == 0 || q.n == 0:
 				out[i] = 0
+			case crossPair(q, c):
+				out[i] = crossRun(&ws.denseAnd, q, c, nil, nil, ws.st)
 			case useHash(q, c):
 				small, large := q, c
 				if small.n > large.n {

@@ -19,30 +19,38 @@ import (
 // Corpus snapshots: one stream persisting an entire BuildSets/BuildBatch
 // corpus, so the offline builder ships a single artifact to query servers and
 // the loader reconstructs the sets into ONE contiguous arena — the same
-// memory layout BuildSets produces (per set: bitmap words, then the
-// word-aligned uint32 region holding sizes, offsets, reordered), preserving
-// the batch engine's locality.
+// memory layout BuildSets produces (per set: bitmap or dense words, then any
+// word-aligned uint32 region), preserving the batch engine's locality.
 //
-// The stream is a fixed-layout little-endian format treated as untrusted:
+// The v3 stream ("FESIAC3") is representation-aware, a fixed-layout
+// little-endian format treated as untrusted:
 //
-//	magic "FESIAC2\x00" (8 bytes)
+//	magic "FESIAC3\x00" (8 bytes)
 //	config: width, segBits, stride (uint32 each), scale (float64), seed (uint64)
 //	numSets (uint64)
-//	per set: n (uint64), mBits (uint64)
-//	per set: bitmap words (mBits/64 × uint64),
-//	         offsets (nseg+1 × uint32), reordered (n × uint32)
+//	per set: rep (uint32), base (uint32), n (uint64), mBits (uint64)
+//	per set payload:
+//	  RepSegmented: bitmap words (mBits/64 × uint64),
+//	                offsets (nseg+1 × uint32), reordered (n × uint32)
+//	  RepArray:     sorted elements (n × uint32); mBits and base are 0
+//	  RepDense:     dense words (mBits/64 × uint64) over [base, base+mBits)
 //	whole-file CRC32C (uint32, covering magic through the last payload byte)
 //
 // Sizes arrays are rederived on load (validateShell), exactly as ReadSet
 // does. Any truncation or bit flip fails the trailing checksum or a
 // structural check; a corrupt stream can never produce a loadable corpus.
+// The legacy v2 format ("FESIAC2") — segmented-only, no rep/base meta fields
+// — is still accepted by ReadCorpus; WriteCorpus emits v3.
 
-var corpusMagic = [8]byte{'F', 'E', 'S', 'I', 'A', 'C', '2', 0}
+var (
+	corpusMagicV2 = [8]byte{'F', 'E', 'S', 'I', 'A', 'C', '2', 0}
+	corpusMagicV3 = [8]byte{'F', 'E', 'S', 'I', 'A', 'C', '3', 0}
+)
 
 // WriteCorpus serializes a whole corpus of sets into one stream with a
 // trailing whole-file CRC32C. All sets must share one build configuration
-// (the invariant BuildSets guarantees); sets from different builds cannot be
-// mixed into one snapshot.
+// (the invariant BuildSets guarantees — the Rep knob aside, which may vary
+// per set); sets from different builds cannot be mixed into one snapshot.
 func WriteCorpus(w io.Writer, sets []*Set) (int64, error) {
 	n, err := writeCorpus(w, sets)
 	statsOutcome(err, stats.CtrSnapshotWrites, stats.CtrSnapshotWriteErrors)
@@ -59,7 +67,78 @@ func writeCorpus(w io.Writer, sets []*Set) (int64, error) {
 	write := func(v interface{}) error {
 		return binary.Write(cw, binary.LittleEndian, v)
 	}
-	if _, err := cw.Write(corpusMagic[:]); err != nil {
+	if _, err := cw.Write(corpusMagicV3[:]); err != nil {
+		return cw.n, err
+	}
+	hdr := []interface{}{
+		uint32(cfg.Width), uint32(cfg.SegBits), uint32(cfg.Stride),
+		math.Float64bits(cfg.Scale), cfg.Seed,
+		uint64(len(sets)),
+	}
+	for _, v := range hdr {
+		if err := write(v); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, s := range sets {
+		var base uint32
+		var mBits uint64
+		switch s.rep {
+		case RepSegmented:
+			mBits = s.bm.Bits()
+		case RepDense:
+			base = s.base
+			mBits = uint64(len(s.dense)) * 64
+		}
+		for _, v := range []interface{}{uint32(s.rep), base, uint64(s.n), mBits} {
+			if err := write(v); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	for _, s := range sets {
+		var sections []interface{}
+		switch s.rep {
+		case RepSegmented:
+			sections = []interface{}{s.bm.Words(), s.offsets, s.reordered}
+		case RepArray:
+			sections = []interface{}{s.reordered}
+		case RepDense:
+			sections = []interface{}{s.dense}
+		}
+		for _, section := range sections {
+			if err := write(section); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	if err := cw.emitCRC(); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// writeCorpusV2 writes the legacy segmented-only corpus stream, for the
+// backward-compatibility tests.
+func writeCorpusV2(w io.Writer, sets []*Set) (int64, error) {
+	cfg, err := corpusConfig(sets)
+	if err != nil {
+		return 0, err
+	}
+	for i, s := range sets {
+		if s.rep != RepSegmented {
+			return 0, fmt.Errorf("core: legacy corpus carries only segmented sets (set %d is %v)", i, s.rep)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	write := func(v interface{}) error {
+		return binary.Write(cw, binary.LittleEndian, v)
+	}
+	if _, err := cw.Write(corpusMagicV2[:]); err != nil {
 		return cw.n, err
 	}
 	hdr := []interface{}{
@@ -98,26 +177,96 @@ func writeCorpus(w io.Writer, sets []*Set) (int64, error) {
 
 // corpusConfig returns the shared configuration of the sets, or an error if
 // they disagree (or there are none to infer from — an empty corpus snapshots
-// the default configuration).
+// the default configuration). The Rep knob is normalized out of the
+// comparison: it is a build-time selector, not a compatibility parameter,
+// and a corpus may legitimately hold sets built with different forced
+// representations.
 func corpusConfig(sets []*Set) (Config, error) {
 	if len(sets) == 0 {
 		return DefaultConfig().normalize()
 	}
 	cfg := sets[0].cfg
+	cfg.Rep = RepSegmented
 	for i, s := range sets[1:] {
-		if s.cfg != cfg {
+		c := s.cfg
+		c.Rep = RepSegmented
+		if c != cfg {
 			return cfg, fmt.Errorf("core: corpus sets disagree on build config (set 0 %+v, set %d %+v)",
-				cfg, i+1, s.cfg)
+				cfg, i+1, c)
 		}
 	}
 	return cfg, nil
 }
 
-// corpusSetMeta is one set's header entry: the two quantities every array
-// length derives from.
+// corpusSetMeta is one set's header entry: the representation plus the
+// quantities every array length derives from.
 type corpusSetMeta struct {
+	rep   Rep
+	base  uint32
 	n     int
 	mBits uint64
+}
+
+// metaArenaWords returns one set's arena footprint in 64-bit words — the
+// load-time mirror of arenaWords, derived from the stream meta instead of
+// the element list.
+func (m corpusSetMeta) arenaWords(cfg Config) uint64 {
+	switch m.rep {
+	case RepArray:
+		return (uint64(m.n) + 1) / 2
+	case RepDense:
+		return m.mBits / 64
+	}
+	nseg := m.mBits / uint64(cfg.SegBits)
+	u32Len := nseg + (nseg + 1) + uint64(m.n) // sizes + offsets + reordered
+	return m.mBits/64 + (u32Len+1)/2
+}
+
+// payloadBytes returns how many stream bytes the set's payload occupies.
+func (m corpusSetMeta) payloadBytes(cfg Config) uint64 {
+	switch m.rep {
+	case RepArray:
+		return uint64(m.n) * 4
+	case RepDense:
+		return m.mBits / 8
+	}
+	nseg := m.mBits / uint64(cfg.SegBits)
+	return m.mBits/8 + ((nseg+1)+uint64(m.n))*4 // words + offsets + reordered
+}
+
+// validate applies the same per-representation domain checks readSetHeader
+// performs for single-set streams.
+func (m corpusSetMeta) validate() error {
+	if uint64(m.n) > maxReasonable {
+		return fmt.Errorf("implausible set size %d", m.n)
+	}
+	switch m.rep {
+	case RepSegmented:
+		if !hashutil.IsPow2(m.mBits) || m.mBits < 64 || m.mBits > maxReasonable {
+			return fmt.Errorf("invalid bitmap size %d", m.mBits)
+		}
+		if m.base != 0 {
+			return fmt.Errorf("segmented set with nonzero base %d", m.base)
+		}
+	case RepArray:
+		if m.mBits != 0 || m.base != 0 {
+			return fmt.Errorf("array set with bitmap fields (mBits=%d base=%d)", m.mBits, m.base)
+		}
+	case RepDense:
+		if m.mBits == 0 || m.mBits%64 != 0 || m.mBits > 1<<32 {
+			return fmt.Errorf("invalid dense span %d bits", m.mBits)
+		}
+		if m.base%64 != 0 || uint64(m.base)+m.mBits > 1<<32 {
+			return fmt.Errorf("dense cover [%d, %d+%d) exceeds the u32 domain or is misaligned",
+				m.base, m.base, m.mBits)
+		}
+		if m.n == 0 || uint64(m.n) > m.mBits {
+			return fmt.Errorf("dense set size %d inconsistent with %d-bit span", m.n, m.mBits)
+		}
+	default:
+		return fmt.Errorf("invalid representation %d", m.rep)
+	}
+	return nil
 }
 
 // ReadCorpus deserializes a corpus written by WriteCorpus, verifying the
@@ -125,7 +274,8 @@ type corpusSetMeta struct {
 // rebuilding every set into one contiguous arena (the BuildSets layout) and
 // re-validating each set's structural invariants. Corruption — truncation,
 // bit flips, forged headers — yields an error, never a panic, hang, or
-// silently wrong set.
+// silently wrong set. Both the representation-aware v3 format and the legacy
+// segmented-only v2 format are accepted.
 func ReadCorpus(r io.Reader) ([]*Set, error) {
 	sets, err := readCorpus(r)
 	statsOutcome(err, stats.CtrSnapshotReads, stats.CtrSnapshotReadErrors)
@@ -139,7 +289,13 @@ func readCorpus(r io.Reader) ([]*Set, error) {
 	if _, err := io.ReadFull(cr, magic[:]); err != nil {
 		return nil, fmt.Errorf("core: reading corpus magic: %w", noEOF(err))
 	}
-	if magic != corpusMagic {
+	v3 := false
+	switch magic {
+	case corpusMagicV2:
+		// Legacy stream: every set segmented, no rep/base meta fields.
+	case corpusMagicV3:
+		v3 = true
+	default:
 		return nil, fmt.Errorf("core: bad corpus magic %q", magic[:])
 	}
 	var width, segBits, stride uint32
@@ -163,33 +319,44 @@ func readCorpus(r io.Reader) ([]*Set, error) {
 
 	// Per-set headers, read incrementally so a forged numSets fails at the
 	// first short read instead of provoking a huge allocation; the running
-	// arena total is capped as it accumulates (every entry contributes at
-	// least one word, so the cap also bounds the loop).
+	// arena total is capped as it accumulates (every non-trivial entry
+	// contributes arena words, and the meta records themselves bound the
+	// loop via the stream length).
 	metas := make([]corpusSetMeta, 0, min(int(min(numSets, 1<<16)), 1<<16))
 	var totalU64, payloadBytes uint64
 	for i := uint64(0); i < numSets; i++ {
-		var n64, mBits uint64
-		if err := binary.Read(cr, binary.LittleEndian, &n64); err != nil {
-			return nil, fmt.Errorf("core: reading set %d header: %w", i, noEOF(err))
+		var m corpusSetMeta
+		if v3 {
+			var rep32, base uint32
+			var n64, mBits uint64
+			for _, v := range []interface{}{&rep32, &base, &n64, &mBits} {
+				if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
+					return nil, fmt.Errorf("core: reading set %d header: %w", i, noEOF(err))
+				}
+			}
+			if rep32 >= uint32(numReps) {
+				return nil, fmt.Errorf("core: set %d: invalid representation %d", i, rep32)
+			}
+			m = corpusSetMeta{rep: Rep(rep32), base: base, n: int(n64), mBits: mBits}
+		} else {
+			var n64, mBits uint64
+			if err := binary.Read(cr, binary.LittleEndian, &n64); err != nil {
+				return nil, fmt.Errorf("core: reading set %d header: %w", i, noEOF(err))
+			}
+			if err := binary.Read(cr, binary.LittleEndian, &mBits); err != nil {
+				return nil, fmt.Errorf("core: reading set %d header: %w", i, noEOF(err))
+			}
+			m = corpusSetMeta{rep: RepSegmented, n: int(n64), mBits: mBits}
 		}
-		if err := binary.Read(cr, binary.LittleEndian, &mBits); err != nil {
-			return nil, fmt.Errorf("core: reading set %d header: %w", i, noEOF(err))
+		if err := m.validate(); err != nil {
+			return nil, fmt.Errorf("core: set %d: %w", i, err)
 		}
-		if !hashutil.IsPow2(mBits) || mBits < 64 || mBits > maxReasonable {
-			return nil, fmt.Errorf("core: set %d: invalid bitmap size %d", i, mBits)
-		}
-		if n64 > maxReasonable {
-			return nil, fmt.Errorf("core: set %d: implausible set size %d", i, n64)
-		}
-		nseg := mBits / uint64(cfg.SegBits)
-		u32Len := nseg + (nseg + 1) + n64 // sizes + offsets + reordered
-		totalU64 += mBits/64 + (u32Len+1)/2
-		payloadBytes += mBits / 8 * /* words */ 1
-		payloadBytes += ((nseg + 1) + n64) * 4 // offsets + reordered (sizes are rederived)
+		totalU64 += m.arenaWords(cfg)
+		payloadBytes += m.payloadBytes(cfg)
 		if totalU64 > maxReasonable {
 			return nil, fmt.Errorf("core: corpus arena implausibly large (%d words)", totalU64)
 		}
-		metas = append(metas, corpusSetMeta{n: int(n64), mBits: mBits})
+		metas = append(metas, m)
 	}
 
 	// Pull the payload through the checksum in bounded chunks: the buffer
@@ -217,29 +384,57 @@ func readCorpus(r io.Reader) ([]*Set, error) {
 	pr := bytes.NewReader(payload)
 	at := 0
 	for i, m := range metas {
-		nseg := int(m.mBits) / cfg.SegBits
-		nwords := int(m.mBits) / 64
-		words := arena[at : at+nwords : at+nwords]
-		at += nwords
-		u32Len := nseg + (nseg + 1) + m.n
-		u32 := unsafe.Slice((*uint32)(unsafe.Pointer(&arena[at])), u32Len)
-		at += (u32Len + 1) / 2
-		sizes := u32[:nseg:nseg]
-		offsets := u32[nseg : 2*nseg+1 : 2*nseg+1]
-		reordered := u32[2*nseg+1 : u32Len : u32Len]
-		if err := readU64sInto(pr, words); err != nil {
-			return nil, fmt.Errorf("core: decoding set %d bitmap: %w", i, noEOF(err))
-		}
-		if err := readU32sInto(pr, offsets); err != nil {
-			return nil, fmt.Errorf("core: decoding set %d offsets: %w", i, noEOF(err))
-		}
-		if err := readU32sInto(pr, reordered); err != nil {
-			return nil, fmt.Errorf("core: decoding set %d elements: %w", i, noEOF(err))
-		}
-		s := newShell(cfg, bitmap.NewFromWords(words, m.mBits, cfg.SegBits),
-			sizes, offsets, reordered)
-		if err := validateShell(s); err != nil {
-			return nil, fmt.Errorf("core: set %d: %w", i, err)
+		var s *Set
+		switch m.rep {
+		case RepArray:
+			var elems []uint32
+			if m.n > 0 {
+				elems = unsafe.Slice((*uint32)(unsafe.Pointer(&arena[at])), m.n)
+				at += (m.n + 1) / 2
+				if err := readU32sInto(pr, elems); err != nil {
+					return nil, fmt.Errorf("core: decoding set %d elements: %w", i, noEOF(err))
+				}
+			}
+			s = newArrayShell(cfg, elems)
+			if err := validateArrayShell(s); err != nil {
+				return nil, fmt.Errorf("core: set %d: %w", i, err)
+			}
+		case RepDense:
+			nwords := int(m.mBits) / 64
+			words := arena[at : at+nwords : at+nwords]
+			at += nwords
+			if err := readU64sInto(pr, words); err != nil {
+				return nil, fmt.Errorf("core: decoding set %d dense words: %w", i, noEOF(err))
+			}
+			s = newDenseShell(cfg, words, m.base, m.n)
+			if err := validateDenseShell(s); err != nil {
+				return nil, fmt.Errorf("core: set %d: %w", i, err)
+			}
+		default:
+			nseg := int(m.mBits) / cfg.SegBits
+			nwords := int(m.mBits) / 64
+			words := arena[at : at+nwords : at+nwords]
+			at += nwords
+			u32Len := nseg + (nseg + 1) + m.n
+			u32 := unsafe.Slice((*uint32)(unsafe.Pointer(&arena[at])), u32Len)
+			at += (u32Len + 1) / 2
+			sizes := u32[:nseg:nseg]
+			offsets := u32[nseg : 2*nseg+1 : 2*nseg+1]
+			reordered := u32[2*nseg+1 : u32Len : u32Len]
+			if err := readU64sInto(pr, words); err != nil {
+				return nil, fmt.Errorf("core: decoding set %d bitmap: %w", i, noEOF(err))
+			}
+			if err := readU32sInto(pr, offsets); err != nil {
+				return nil, fmt.Errorf("core: decoding set %d offsets: %w", i, noEOF(err))
+			}
+			if err := readU32sInto(pr, reordered); err != nil {
+				return nil, fmt.Errorf("core: decoding set %d elements: %w", i, noEOF(err))
+			}
+			s = newShell(cfg, bitmap.NewFromWords(words, m.mBits, cfg.SegBits),
+				sizes, offsets, reordered)
+			if err := validateShell(s); err != nil {
+				return nil, fmt.Errorf("core: set %d: %w", i, err)
+			}
 		}
 		sets[i] = s
 	}

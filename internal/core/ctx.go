@@ -52,6 +52,9 @@ func (e *Executor) noteCancel(err error) error {
 // observes the context done.
 func (e *Executor) CountCtx(ctx context.Context, a, b *Set) (int, error) {
 	compatible(a, b)
+	if crossPair(a, b) {
+		return e.crossCountCtx(ctx, a, b)
+	}
 	if err := ctx.Err(); err != nil {
 		return 0, e.noteCancel(err)
 	}
@@ -139,6 +142,9 @@ func (e *Executor) countHashCtx(ctx context.Context, a, b *Set) (int, error) {
 // and dst holds unspecified partial data.
 func (e *Executor) IntersectIntoCtx(ctx context.Context, dst []uint32, a, b *Set) (int, error) {
 	compatible(a, b)
+	if crossPair(a, b) {
+		return e.crossIntersectCtx(ctx, dst, a, b)
+	}
 	if err := ctx.Err(); err != nil {
 		return 0, e.noteCancel(err)
 	}
@@ -241,6 +247,20 @@ func (e *Executor) CountKCtx(ctx context.Context, sets ...*Set) (int, error) {
 	if e.st != nil {
 		start = time.Now()
 	}
+	if anyCross(sets) {
+		// Mixed representations run the membership-compaction chain, with a
+		// context check between sets (each compaction pass is O(n_min)).
+		total := 0
+		cancelled := false
+		e.kwayAnyChainCtx(ctx, sets, func(cur []uint32) { total += len(cur) }, &cancelled)
+		if cancelled {
+			return 0, e.noteCancel(ctx.Err())
+		}
+		if e.st != nil {
+			observeSince(e.st, stats.CtrQueriesKWay, stats.LatKWay, start)
+		}
+		return total, nil
+	}
 	x, rest := e.kwayPrepare(sets)
 	words := len(x.bm.Words())
 	total := 0
@@ -284,7 +304,7 @@ func (e *Executor) CountManyCtx(ctx context.Context, q *Set, candidates []*Set, 
 		if err = ctx.Err(); err != nil {
 			break
 		}
-		out[i], recs, touch = countOneBatch(&e.qcache, e.probeStage, q, c, recs, touch, e.st, e.kernelShard())
+		out[i], recs, touch = countOneBatch(&e.qcache, &e.denseAnd, e.probeStage, q, c, recs, touch, e.st, e.kernelShard())
 		done++
 	}
 	e.staged = recs
@@ -303,11 +323,13 @@ func (e *Executor) CountManyCtx(ctx context.Context, q *Set, candidates []*Set, 
 // shared body of the context-aware Many paths. It returns the count, the
 // (possibly grown) staging record buffer, and the accumulated read-ahead
 // touch value.
-func countOneBatch(qc *probeCache, stage []probeRec, q, c *Set, recs []stagedSeg, touch uint32, st, kst *stats.Shard) (int, []stagedSeg, uint32) {
+func countOneBatch(qc *probeCache, denseAnd *[]uint64, stage []probeRec, q, c *Set, recs []stagedSeg, touch uint32, st, kst *stats.Shard) (int, []stagedSeg, uint32) {
 	compatible(q, c)
 	switch {
 	case c.n == 0 || q.n == 0:
 		return 0, recs, touch
+	case crossPair(q, c):
+		return crossRun(denseAnd, q, c, nil, nil, st), recs, touch
 	case useHash(q, c):
 		small, large := q, c
 		if small.n > large.n {
@@ -369,7 +391,7 @@ func (e *Executor) CountManyParallelCtx(ctx context.Context, q *Set, candidates 
 				break
 			}
 			i := sched[k]
-			out[i], recs, touch = countOneBatch(&ws.qcache, ws.probeStage, q, candidates[i], recs, touch, ws.st, sampleShard(ws.st, seq))
+			out[i], recs, touch = countOneBatch(&ws.qcache, &ws.denseAnd, ws.probeStage, q, candidates[i], recs, touch, ws.st, sampleShard(ws.st, seq))
 			seq++
 		}
 		ws.staged = recs

@@ -40,6 +40,7 @@ type Executor struct {
 	sched      []int32     // candidate scheduling order (CountManyParallel)
 	probeStage []probeRec  // staged hash probe: survivor records
 	qcache     probeCache  // query hash positions, memoized per bitmap size
+	denseAnd   []uint64    // dense×dense word-AND scratch (cross-rep paths)
 	touchSink  uint32      // accumulates read-ahead touches so they are not DCE'd
 
 	// Observability (nil when stats are disabled — the default). st is this
@@ -63,6 +64,7 @@ type execWorker struct {
 	staged     []stagedSeg // per-worker staged dispatch records (CountManyParallel)
 	probeStage []probeRec  // per-worker staged probe buffer
 	qcache     probeCache  // per-worker query position cache
+	denseAnd   []uint64    // per-worker dense×dense AND scratch (cross-rep)
 	touch      uint32      // per-worker read-ahead sink
 	st         *stats.Shard
 }
@@ -126,7 +128,11 @@ func (e *Executor) Count(a, b *Set) int {
 }
 
 // CountMerge forces the two-step FESIAmerge strategy. Zero heap allocations.
+// Cross-representation pairs route to the dispatch matrix (hybrid.go).
 func (e *Executor) CountMerge(a, b *Set) int {
+	if crossPair(a, b) {
+		return e.crossCount(a, b)
+	}
 	if e.st == nil {
 		return CountMerge(a, b)
 	}
@@ -139,7 +145,11 @@ func (e *Executor) CountMerge(a, b *Set) int {
 }
 
 // CountHash forces the per-element FESIAhash strategy. Zero heap allocations.
+// Cross-representation pairs route to the dispatch matrix (hybrid.go).
 func (e *Executor) CountHash(a, b *Set) int {
+	if crossPair(a, b) {
+		return e.crossCount(a, b)
+	}
 	if e.st == nil {
 		return CountHash(a, b)
 	}
@@ -159,6 +169,9 @@ func (e *Executor) CountHash(a, b *Set) int {
 // in segment order, not ascending value order (see IntersectMerge). Zero heap
 // allocations.
 func (e *Executor) Intersect(dst []uint32, a, b *Set) int {
+	if crossPair(a, b) {
+		return e.crossIntersect(dst, a, b)
+	}
 	if e.st == nil {
 		return Intersect(dst, a, b)
 	}
@@ -193,7 +206,12 @@ func (e *Executor) Visit(a, b *Set, emit Visitor) {
 // VisitMerge streams the two-step FESIAmerge intersection through emit: each
 // surviving segment pair is dispatched to its specialized kernel and the
 // kernel's output replayed element-wise, so no per-query result slice exists.
+// Cross-representation pairs route to the dispatch matrix (hybrid.go).
 func (e *Executor) VisitMerge(a, b *Set, emit Visitor) {
+	if crossPair(a, b) {
+		e.crossVisit(a, b, emit)
+		return
+	}
 	compatible(a, b)
 	x, y := ordered(a, b)
 	t := x.table
@@ -221,8 +239,13 @@ func (e *Executor) VisitMerge(a, b *Set, emit Visitor) {
 }
 
 // VisitHash streams the skewed-input FESIAhash intersection through emit, in
-// the smaller set's segment order.
+// the smaller set's segment order. Cross-representation pairs route to the
+// dispatch matrix (hybrid.go).
 func (e *Executor) VisitHash(a, b *Set, emit Visitor) {
+	if crossPair(a, b) {
+		e.crossVisit(a, b, emit)
+		return
+	}
 	compatible(a, b)
 	small, large := a, b
 	if small.n > large.n {
@@ -244,9 +267,7 @@ func (e *Executor) VisitK(emit Visitor, sets ...*Set) {
 	case 0:
 		panic("core: intersection of zero sets")
 	case 1:
-		for _, v := range sets[0].reordered {
-			emit(v)
-		}
+		sets[0].visitAll(emit)
 		return
 	case 2:
 		e.VisitMerge(sets[0], sets[1], emit)
@@ -256,11 +277,16 @@ func (e *Executor) VisitK(emit Visitor, sets ...*Set) {
 	if e.st != nil {
 		start = time.Now()
 	}
-	e.kwayChain(sets, func(cur []uint32) {
+	sink := func(cur []uint32) {
 		for _, v := range cur {
 			emit(v)
 		}
-	})
+	}
+	if anyCross(sets) {
+		e.kwayAnyChain(sets, sink)
+	} else {
+		e.kwayChain(sets, sink)
+	}
 	if e.st != nil {
 		observeSince(e.st, stats.CtrQueriesKWay, stats.LatKWay, start)
 	}
@@ -287,7 +313,12 @@ func (e *Executor) CountK(sets ...*Set) int {
 		start = time.Now()
 	}
 	total := 0
-	e.kwayChain(sets, func(cur []uint32) { total += len(cur) })
+	sink := func(cur []uint32) { total += len(cur) }
+	if anyCross(sets) {
+		e.kwayAnyChain(sets, sink)
+	} else {
+		e.kwayChain(sets, sink)
+	}
 	if e.st != nil {
 		observeSince(e.st, stats.CtrQueriesKWay, stats.LatKWay, start)
 	}
@@ -305,7 +336,7 @@ func (e *Executor) IntersectK(dst []uint32, sets ...*Set) int {
 	case 0:
 		panic("core: intersection of zero sets")
 	case 1:
-		return copy(dst, sets[0].reordered)
+		return sets[0].materialize(dst)
 	case 2:
 		return IntersectMerge(dst, sets[0], sets[1])
 	}
@@ -314,10 +345,15 @@ func (e *Executor) IntersectK(dst []uint32, sets ...*Set) int {
 		start = time.Now()
 	}
 	total := 0
-	e.kwayChain(sets, func(cur []uint32) {
+	sink := func(cur []uint32) {
 		copy(dst[total:], cur)
 		total += len(cur)
-	})
+	}
+	if anyCross(sets) {
+		e.kwayAnyChain(sets, sink)
+	} else {
+		e.kwayChain(sets, sink)
+	}
 	if e.st != nil {
 		observeSince(e.st, stats.CtrQueriesKWay, stats.LatKWay, start)
 	}
@@ -402,8 +438,12 @@ func (e *Executor) kwayChainRange(x *Set, rest []*Set, wordLo, wordHi int, sink 
 
 // CountMergeParallel is CountMerge with the larger bitmap's words partitioned
 // across `workers` parts on the executor's persistent pool. No goroutines are
-// spawned; pool workers are reused across calls.
+// spawned; pool workers are reused across calls. Cross-representation pairs
+// have no bitmap to partition; they run serially on the dispatch matrix.
 func (e *Executor) CountMergeParallel(a, b *Set, workers int) int {
+	if crossPair(a, b) {
+		return e.crossCount(a, b)
+	}
 	compatible(a, b)
 	x, y := ordered(a, b)
 	words := len(x.bm.Words())
@@ -448,8 +488,11 @@ func (e *Executor) CountMergeParallel(a, b *Set, workers int) int {
 // which are concatenated in range order, so the output matches
 // IntersectMerge. Each worker pre-sizes its buffer from the per-range segment
 // size totals (a cheap bitmap pre-pass) instead of growing it by repeated
-// appends.
+// appends. Cross-representation pairs run serially on the dispatch matrix.
 func (e *Executor) IntersectMergeParallel(dst []uint32, a, b *Set, workers int) int {
+	if crossPair(a, b) {
+		return e.crossIntersect(dst, a, b)
+	}
 	compatible(a, b)
 	x, y := ordered(a, b)
 	words := len(x.bm.Words())
@@ -506,8 +549,12 @@ func (e *Executor) IntersectMergeParallel(dst []uint32, a, b *Set, workers int) 
 }
 
 // CountHashParallel applies the skewed-input strategy with the smaller set's
-// elements partitioned across `workers` pool parts.
+// elements partitioned across `workers` pool parts. Cross-representation
+// pairs run serially on the dispatch matrix.
 func (e *Executor) CountHashParallel(a, b *Set, workers int) int {
+	if crossPair(a, b) {
+		return e.crossCount(a, b)
+	}
 	compatible(a, b)
 	small, large := a, b
 	if small.n > large.n {
@@ -554,6 +601,11 @@ func (e *Executor) CountKParallel(workers int, sets ...*Set) int {
 		return sets[0].n
 	case 2:
 		return e.CountMergeParallel(sets[0], sets[1], workers)
+	}
+	if anyCross(sets) {
+		// Mixed representations have no shared bitmap to partition; the
+		// serial membership-compaction chain handles them.
+		return e.CountK(sets...)
 	}
 	e.orderByBitmap(sets)
 	x := e.ord[0]

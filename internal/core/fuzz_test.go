@@ -89,6 +89,86 @@ func FuzzIntersect(f *testing.F) {
 	})
 }
 
+// FuzzHybridIntersect differentially tests the cross-representation
+// dispatch matrix: the fuzzer picks both element lists AND both
+// representations, and every strategy must agree with the map-based
+// reference for all nine (Rep × Rep) pairs.
+func FuzzHybridIntersect(f *testing.F) {
+	f.Add([]byte{0}, uint8(0))
+	f.Add([]byte{1, 1, 2, 3, 4, 1, 2, 3, 4}, uint8(0x12))
+	f.Add(bytes.Repeat([]byte{0xAB}, 100), uint8(0x21))
+	f.Add(append([]byte{9}, bytes.Repeat([]byte{0, 1, 2, 3}, 40)...), uint8(0x10))
+	f.Add(bytes.Repeat([]byte{7, 0, 0, 0}, 60), uint8(0x22))
+	f.Fuzz(func(t *testing.T, data []byte, repSel uint8) {
+		if len(data) > 1<<14 {
+			data = data[:1<<14]
+		}
+		ea, eb, cfg := decodeSets(data)
+		reps := []Rep{RepSegmented, RepArray, RepDense, RepAuto}
+		cfgA, cfgB := cfg, cfg
+		cfgA.Rep = reps[int(repSel)%4]
+		cfgB.Rep = reps[int(repSel>>4)%4]
+		// A forced dense representation allocates span/8 bytes; cap the
+		// value range under it so the fuzzer spends its budget on logic, not
+		// on filling hundred-megabyte bitmaps.
+		clampSpan := func(elems []uint32, r Rep) []uint32 {
+			if r != RepDense {
+				return elems
+			}
+			out := make([]uint32, len(elems))
+			for i, v := range elems {
+				out[i] = v % (1 << 22)
+			}
+			return out
+		}
+		ea = clampSpan(ea, cfgA.Rep)
+		eb = clampSpan(eb, cfgB.Rep)
+		want := refCountMap(ea, eb)
+		sa, err := NewSet(ea, cfgA)
+		if err != nil {
+			t.Fatalf("NewSet: %v", err)
+		}
+		sb, err := NewSet(eb, cfgB)
+		if err != nil {
+			t.Fatalf("NewSet: %v", err)
+		}
+		if got := Count(sa, sb); got != want {
+			t.Fatalf("Count(%v×%v) = %d, want %d (cfg %+v)", sa.Rep(), sb.Rep(), got, want, cfg)
+		}
+		if got := CountMerge(sa, sb); got != want {
+			t.Fatalf("CountMerge(%v×%v) = %d, want %d", sa.Rep(), sb.Rep(), got, want)
+		}
+		if got := CountHash(sa, sb); got != want {
+			t.Fatalf("CountHash(%v×%v) = %d, want %d", sa.Rep(), sb.Rep(), got, want)
+		}
+		dst := make([]uint32, min(sa.Len(), sb.Len())+1)
+		if got := IntersectMerge(dst, sa, sb); got != want {
+			t.Fatalf("IntersectMerge(%v×%v) = %d, want %d", sa.Rep(), sb.Rep(), got, want)
+		}
+		for _, v := range dst[:want] {
+			if !sa.Contains(v) || !sb.Contains(v) {
+				t.Fatalf("IntersectMerge(%v×%v) emitted non-member %d", sa.Rep(), sb.Rep(), v)
+			}
+		}
+		if got := CountK(sa, sb, sa); got != want {
+			t.Fatalf("CountK(%v×%v) = %d, want %d", sa.Rep(), sb.Rep(), got, want)
+		}
+		// Round-trip both sets through the v3 codec and recheck: the
+		// deserialized pair must intersect identically.
+		var buf bytes.Buffer
+		if _, err := sa.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo: %v", err)
+		}
+		ra, err := ReadSet(&buf)
+		if err != nil {
+			t.Fatalf("ReadSet: %v", err)
+		}
+		if got := Count(ra, sb); got != want {
+			t.Fatalf("Count after round trip = %d, want %d", got, want)
+		}
+	})
+}
+
 // FuzzReadSet throws arbitrary bytes at the deserializer: it must never
 // panic, and anything it accepts must be structurally sound.
 func FuzzReadSet(f *testing.F) {
@@ -109,8 +189,18 @@ func FuzzReadSet(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(v2b.Bytes())
+	// v3 representation-tagged seeds: one per representation.
+	for _, cfg := range []Config{{Rep: RepArray}, {Rep: RepDense}, {Rep: RepSegmented}} {
+		s := MustNewSet([]uint32{3, 6, 9, 70, 131}, cfg)
+		var b bytes.Buffer
+		if _, err := s.WriteTo(&b); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b.Bytes())
+	}
 	f.Add([]byte("FESIA1\x00\x00junk"))
 	f.Add([]byte("FESIA2\x00\x00junk"))
+	f.Add([]byte("FESIA3\x00\x00junk"))
 	f.Add([]byte{})
 	// Regression: a forged header demanding a multi-terabyte bitmap must
 	// fail at the first short read, not allocate (found by fuzzing).
@@ -154,7 +244,31 @@ func FuzzReadCorpus(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(empty.Bytes())
+	// Mixed-representation v3 corpus seed: auto picks array, dense and
+	// segmented across these lists.
+	autoCfg := DefaultConfig()
+	autoCfg.Rep = RepAuto
+	mixed, err := BuildSets([][]uint32{
+		{1, 2, 3},
+		{10, 11, 12, 13, 14, 15, 16, 17},
+		nil,
+	}, autoCfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var mixedBuf bytes.Buffer
+	if _, err := WriteCorpus(&mixedBuf, mixed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mixedBuf.Bytes())
+	// Legacy segmented-only v2 corpus seed: the reader must keep accepting it.
+	var v2Buf bytes.Buffer
+	if _, err := writeCorpusV2(&v2Buf, sets); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2Buf.Bytes())
 	f.Add([]byte("FESIAC2\x00junk"))
+	f.Add([]byte("FESIAC3\x00junk"))
 	f.Add([]byte{})
 	// Forged header demanding an enormous corpus: must fail at a short read,
 	// not allocate.

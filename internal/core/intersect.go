@@ -22,8 +22,13 @@ const coreChunkBlocks = 256
 
 // CountMerge returns |a ∩ b| using the two-step FESIA algorithm
 // (Algorithm 1): bitmap-level AND, then specialized kernels on the
-// surviving segment pairs. This is the paper's FESIAmerge.
+// surviving segment pairs. This is the paper's FESIAmerge. Pairs involving a
+// non-segmented set have no merge/hash strategy distinction; they route to
+// the cross-representation dispatch matrix (hybrid.go).
 func CountMerge(a, b *Set) int {
+	if crossPair(a, b) {
+		return crossCountFree(a, b)
+	}
 	compatible(a, b)
 	x, y := ordered(a, b)
 	return countMergeRange(x, y, 0, len(x.bm.Words()), nil, nil)
@@ -153,7 +158,11 @@ func countMergeRange(x, y *Set, lo, hi int, st, kst *stats.Shard) int {
 // IntersectMerge writes a ∩ b into dst and returns the count. dst must have
 // room for min(a.Len(), b.Len()) elements. Results are emitted in segment
 // order (ascending within each segment); use sort.Slice for value order.
+// Cross-representation pairs route to the dispatch matrix (hybrid.go).
 func IntersectMerge(dst []uint32, a, b *Set) int {
+	if crossPair(a, b) {
+		return crossIntersectFree(dst, a, b)
+	}
 	compatible(a, b)
 	x, y := ordered(a, b)
 	t := x.table
@@ -194,6 +203,14 @@ func forEachSegPairRange(x, y *Set, wordLo, wordHi int, fn func(sx, sy int)) {
 // selectivity signal); the survivor tally itself is a register increment
 // kept unconditionally so the disabled path stays branch-free.
 func hashProbeRange(small, large *Set, lo, hi int, emit Visitor, st *stats.Shard) int {
+	return hashProbeElems(small.reordered[lo:hi], large, nil, emit, st)
+}
+
+// hashProbeElems is the probe loop proper, over any sorted element slice —
+// the segmented-set membership kernel shared by the hash strategy and the
+// array×seg entry of the cross-representation dispatch matrix. Matches are
+// appended to dst (when non-nil) and streamed through emit (when non-nil).
+func hashProbeElems(elems []uint32, large *Set, dst []uint32, emit Visitor, st *stats.Shard) int {
 	n := 0
 	survivors := 0
 	lb := large.bm
@@ -205,7 +222,7 @@ func hashProbeRange(small, large *Set, lo, hi int, emit Visitor, st *stats.Shard
 	hasher := large.hasher
 	lastSeg := -1
 	var segList []uint32
-	for _, x := range small.reordered[lo:hi] {
+	for _, x := range elems {
 		pos := hasher.Pos(x, mBits)
 		if words[pos>>6]&(1<<(pos&63)) == 0 {
 			continue
@@ -217,6 +234,9 @@ func hashProbeRange(small, large *Set, lo, hi int, emit Visitor, st *stats.Shard
 		}
 		if simd.AsmActive() && len(segList) >= containsCutover {
 			if simd.Contains(segList, x) {
+				if dst != nil {
+					dst[n] = x
+				}
 				n++
 				if emit != nil {
 					emit(x)
@@ -226,6 +246,9 @@ func hashProbeRange(small, large *Set, lo, hi int, emit Visitor, st *stats.Shard
 		}
 		for _, v := range segList {
 			if v == x {
+				if dst != nil {
+					dst[n] = x
+				}
 				n++
 				if emit != nil {
 					emit(x)
@@ -238,7 +261,7 @@ func hashProbeRange(small, large *Set, lo, hi int, emit Visitor, st *stats.Shard
 		}
 	}
 	if st != nil {
-		st.Add(stats.CtrHashProbes, uint64(hi-lo))
+		st.Add(stats.CtrHashProbes, uint64(len(elems)))
 		st.Add(stats.CtrHashSurvivors, uint64(survivors))
 	}
 	return n
@@ -246,7 +269,11 @@ func hashProbeRange(small, large *Set, lo, hi int, emit Visitor, st *stats.Shard
 
 // CountHash returns |a ∩ b| with the skewed-input strategy of Section VI.
 // Complexity O(min(n1, n2)). This is the paper's FESIAhash.
+// Cross-representation pairs route to the dispatch matrix (hybrid.go).
 func CountHash(a, b *Set) int {
+	if crossPair(a, b) {
+		return crossCountFree(a, b)
+	}
 	compatible(a, b)
 	small, large := a, b
 	if small.n > large.n {
@@ -257,7 +284,11 @@ func CountHash(a, b *Set) int {
 
 // IntersectHash writes a ∩ b into dst using the skewed-input strategy and
 // returns the count. Results follow the smaller set's segment order.
+// Cross-representation pairs route to the dispatch matrix (hybrid.go).
 func IntersectHash(dst []uint32, a, b *Set) int {
+	if crossPair(a, b) {
+		return crossIntersectFree(dst, a, b)
+	}
 	compatible(a, b)
 	small, large := a, b
 	if small.n > large.n {
@@ -378,8 +409,12 @@ func CountHashParallel(a, b *Set, workers int) int {
 // two-step intersection would dispatch to kernels, in dispatch order. The
 // instruction-cache simulation behind Table II replays this trace. The trace
 // is sized exactly by a bitmap pre-pass, so the only allocation is the
-// returned slice itself.
+// returned slice itself. Cross-representation pairs dispatch no segment
+// kernels; the trace is nil.
 func DispatchTrace(a, b *Set) [][2]int {
+	if crossPair(a, b) {
+		return nil
+	}
 	compatible(a, b)
 	x, y := ordered(a, b)
 	trace := make([][2]int, 0, bitmap.CountIntersectingSegments(x.bm, y.bm))
@@ -406,9 +441,16 @@ type Breakdown struct {
 // extraction) stages the surviving pairs, pass 2 dispatches the kernels, and
 // each pass is timed in isolation. The staging buffer is retained across
 // calls, so repeated Fig. 14 breakdown sweeps are allocation-free once warm.
-// The combined result is identical to CountMerge.
+// The combined result is identical to CountMerge. Cross-representation pairs
+// have no bitmap pass; their whole matrix-dispatched run is reported as
+// SegmentTime with zero SegPairs.
 func (e *Executor) CountMergeBreakdown(a, b *Set) Breakdown {
 	compatible(a, b)
+	if crossPair(a, b) {
+		start := time.Now()
+		n := crossRun(&e.denseAnd, a, b, nil, nil, e.st)
+		return Breakdown{SegmentTime: time.Since(start), Count: n}
+	}
 	x, y := ordered(a, b)
 
 	start := time.Now()
@@ -455,8 +497,19 @@ type HashBreakdown struct {
 // read-ahead touch pass and the segment scans are each timed in isolation.
 // The stage buffer is the executor's persistent one, so repeated breakdown
 // sweeps are allocation-free once warm. The count is identical to CountHash.
+// Cross-representation pairs have no staged probe; their whole run is
+// reported as ScanTime with the probing-side size as Probes.
 func (e *Executor) CountHashBreakdown(a, b *Set) HashBreakdown {
 	compatible(a, b)
+	if crossPair(a, b) {
+		start := time.Now()
+		n := crossRun(&e.denseAnd, a, b, nil, nil, e.st)
+		return HashBreakdown{
+			ScanTime: time.Since(start),
+			Probes:   min(a.n, b.n),
+			Count:    n,
+		}
+	}
 	small, large := a, b
 	if small.n > large.n {
 		small, large = large, small
@@ -522,8 +575,12 @@ type HashProbe struct {
 // would produce, in probe order — the hash-side counterpart of DispatchTrace
 // (which covers only the merge strategy's kernel dispatches). The filter rate
 // and scanned-segment lengths are the quantities behind the strategy's
-// O(min(n1, n2)) bound. The only allocation is the returned slice.
+// O(min(n1, n2)) bound. The only allocation is the returned slice. Pairs
+// involving a non-segmented set never hash-probe a bitmap; the trace is nil.
 func HashProbeTrace(a, b *Set) []HashProbe {
+	if crossPair(a, b) {
+		return nil
+	}
 	compatible(a, b)
 	small, large := a, b
 	if small.n > large.n {

@@ -19,28 +19,35 @@ import (
 // Serialization of a Set, so the offline construction phase (Section VII-A:
 // "the data structure of our approach is built offline") can be paid once
 // and the structure shipped to query servers. Snapshots travel through
-// object stores and disks the query servers do not control, so the v2 format
-// treats the stream as untrusted: every section carries a CRC32C checksum and
-// the reader re-validates every structural invariant, turning bit rot into a
+// object stores and disks the query servers do not control, so the stream is
+// treated as untrusted: every section carries a CRC32C checksum and the
+// reader re-validates every structural invariant, turning bit rot into a
 // load-time error instead of silent result corruption.
 //
-// v2 ("FESIA2") is a fixed-layout little-endian stream:
+// v3 ("FESIA3") records the representation per set — the first format aware
+// of the hybrid layouts — as a fixed little-endian stream:
 //
-//	magic "FESIA2\x00\x00" (8 bytes)
+//	magic "FESIA3\x00\x00" (8 bytes)
 //	config: width, segBits, stride (uint32 each), scale (float64), seed (uint64)
+//	rep (uint32), base (uint32)
 //	n (uint64), mBits (uint64)
-//	header CRC32C (uint32, covering magic + config + n + mBits)
-//	bitmap words  (mBits/64 × uint64), then their CRC32C (uint32)
-//	offsets       (nseg+1 × uint32), then their CRC32C (uint32)
-//	reordered     (n × uint32), then their CRC32C (uint32)
+//	header CRC32C (uint32, covering magic + everything above)
+//	payload sections, each followed by its CRC32C (uint32):
+//	  RepSegmented: bitmap words (mBits/64 × uint64), offsets (nseg+1 ×
+//	                uint32), reordered (n × uint32); base is 0
+//	  RepArray:     sorted elements (n × uint32); mBits and base are 0
+//	  RepDense:     dense words (mBits/64 × uint64) covering value range
+//	                [base, base+mBits)
 //
-// sizes are rederived from offsets; maxSeg is recomputed on load. The v1
-// format ("FESIA1") is the same minus the four checksums; ReadSet accepts
-// both, WriteTo emits v2.
+// sizes are rederived from offsets; maxSeg is recomputed on load. The legacy
+// v2 format ("FESIA2") is v3 minus the rep/base fields (segmented only), and
+// v1 ("FESIA1") is v2 minus all checksums; ReadSet accepts all three, WriteTo
+// emits v3.
 
 var (
 	setMagicV1 = [8]byte{'F', 'E', 'S', 'I', 'A', '1', 0, 0}
 	setMagicV2 = [8]byte{'F', 'E', 'S', 'I', 'A', '2', 0, 0}
+	setMagicV3 = [8]byte{'F', 'E', 'S', 'I', 'A', '3', 0, 0}
 )
 
 // castagnoli is the CRC32C polynomial table — the checksum of iSCSI, ext4
@@ -111,7 +118,7 @@ func noEOF(err error) error {
 	return err
 }
 
-// WriteTo serializes the set in the v2 checksummed format. It implements
+// WriteTo serializes the set in the v3 checksummed format. It implements
 // io.WriterTo.
 func (s *Set) WriteTo(w io.Writer) (int64, error) {
 	n, err := s.writeTo(w)
@@ -122,7 +129,7 @@ func (s *Set) WriteTo(w io.Writer) (int64, error) {
 func (s *Set) writeTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw}
-	if err := writeSetBody(cw, s, true); err != nil {
+	if err := writeSetBody(cw, s); err != nil {
 		return cw.n, err
 	}
 	if err := bw.Flush(); err != nil {
@@ -131,10 +138,65 @@ func (s *Set) writeTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-// writeSetBody writes one set's stream — v2 with section checksums when
-// withCRC is set, the legacy v1 layout otherwise (kept so tests can produce
-// v1 streams the reader must keep accepting).
-func writeSetBody(cw *crcWriter, s *Set, withCRC bool) error {
+// writeSetBody writes one set's v3 stream: representation-tagged header
+// followed by the representation's payload sections, each checksummed.
+func writeSetBody(cw *crcWriter, s *Set) error {
+	write := func(v interface{}) error {
+		return binary.Write(cw, binary.LittleEndian, v)
+	}
+	if _, err := cw.Write(setMagicV3[:]); err != nil {
+		return err
+	}
+	var base uint32
+	var mBits uint64
+	switch s.rep {
+	case RepSegmented:
+		mBits = s.bm.Bits()
+	case RepDense:
+		base = s.base
+		mBits = uint64(len(s.dense)) * 64
+	}
+	hdr := []interface{}{
+		uint32(s.cfg.Width), uint32(s.cfg.SegBits), uint32(s.cfg.Stride),
+		math.Float64bits(s.cfg.Scale), s.cfg.Seed,
+		uint32(s.rep), base,
+		uint64(s.n), mBits,
+	}
+	for _, v := range hdr {
+		if err := write(v); err != nil {
+			return err
+		}
+	}
+	if err := cw.emitCRC(); err != nil {
+		return err
+	}
+	var sections []interface{}
+	switch s.rep {
+	case RepSegmented:
+		sections = []interface{}{s.bm.Words(), s.offsets, s.reordered}
+	case RepArray:
+		sections = []interface{}{s.reordered}
+	case RepDense:
+		sections = []interface{}{s.dense}
+	}
+	for _, section := range sections {
+		if err := write(section); err != nil {
+			return err
+		}
+		if err := cw.emitCRC(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSetBodyLegacy writes one segmented set's stream in the pre-hybrid
+// layout — v2 with section checksums when withCRC is set, v1 otherwise. Kept
+// so tests can produce the legacy streams the reader must keep accepting.
+func writeSetBodyLegacy(cw *crcWriter, s *Set, withCRC bool) error {
+	if s.rep != RepSegmented {
+		return fmt.Errorf("core: legacy formats carry only segmented sets (got %v)", s.rep)
+	}
 	write := func(v interface{}) error {
 		return binary.Write(cw, binary.LittleEndian, v)
 	}
@@ -176,9 +238,19 @@ func writeSetBody(cw *crcWriter, s *Set, withCRC bool) error {
 // writeSetV1 writes the legacy unchecksummed v1 stream, for the
 // backward-compatibility tests.
 func writeSetV1(w io.Writer, s *Set) (int64, error) {
+	return writeSetLegacy(w, s, false)
+}
+
+// writeSetV2 writes the legacy checksummed v2 stream, for the
+// backward-compatibility tests.
+func writeSetV2(w io.Writer, s *Set) (int64, error) {
+	return writeSetLegacy(w, s, true)
+}
+
+func writeSetLegacy(w io.Writer, s *Set, withCRC bool) (int64, error) {
 	bw := bufio.NewWriter(w)
 	cw := &crcWriter{w: bw}
-	if err := writeSetBody(cw, s, false); err != nil {
+	if err := writeSetBodyLegacy(cw, s, withCRC); err != nil {
 		return cw.n, err
 	}
 	if err := bw.Flush(); err != nil {
@@ -249,16 +321,34 @@ func readU64sInto(r io.Reader, dst []uint64) error {
 // as corruption rather than attempted.
 const maxReasonable = 1 << 40
 
-// readSetHeader decodes and sanity-checks the post-magic header fields.
-func readSetHeader(r io.Reader) (cfg Config, n int, mBits uint64, err error) {
+// setHeader is the decoded, validated post-magic header of one set stream.
+// rep and base are always RepSegmented/0 for the legacy v1/v2 formats.
+type setHeader struct {
+	cfg   Config
+	rep   Rep
+	base  uint32
+	n     int
+	mBits uint64
+}
+
+// readSetHeader decodes and sanity-checks the post-magic header fields. v3
+// streams carry two extra fields (rep, base) between the config and the
+// sizes; the legacy formats are segmented-only.
+func readSetHeader(r io.Reader, v3 bool) (h setHeader, err error) {
 	var width, segBits, stride uint32
 	var scaleBits, seed, n64, m64 uint64
-	for _, v := range []interface{}{&width, &segBits, &stride, &scaleBits, &seed, &n64, &m64} {
+	var rep32, base uint32
+	fields := []interface{}{&width, &segBits, &stride, &scaleBits, &seed}
+	if v3 {
+		fields = append(fields, &rep32, &base)
+	}
+	fields = append(fields, &n64, &m64)
+	for _, v := range fields {
 		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
-			return cfg, 0, 0, fmt.Errorf("core: reading header: %w", noEOF(err))
+			return h, fmt.Errorf("core: reading header: %w", noEOF(err))
 		}
 	}
-	cfg = Config{
+	cfg := Config{
 		Width:   simd.Width(width),
 		SegBits: int(segBits),
 		Scale:   math.Float64frombits(scaleBits),
@@ -267,21 +357,46 @@ func readSetHeader(r io.Reader) (cfg Config, n int, mBits uint64, err error) {
 	}
 	cfg, err = cfg.normalize()
 	if err != nil {
-		return cfg, 0, 0, fmt.Errorf("core: invalid serialized config: %w", err)
-	}
-	if !hashutil.IsPow2(m64) || m64 < 64 || m64 > maxReasonable {
-		return cfg, 0, 0, fmt.Errorf("core: invalid bitmap size %d", m64)
+		return h, fmt.Errorf("core: invalid serialized config: %w", err)
 	}
 	if n64 > maxReasonable {
-		return cfg, 0, 0, fmt.Errorf("core: implausible set size %d", n64)
+		return h, fmt.Errorf("core: implausible set size %d", n64)
 	}
-	return cfg, int(n64), m64, nil
+	h = setHeader{cfg: cfg, rep: Rep(rep32), base: base, n: int(n64), mBits: m64}
+	if rep32 >= uint32(numReps) {
+		return h, fmt.Errorf("core: invalid representation %d", rep32)
+	}
+	switch h.rep {
+	case RepSegmented:
+		if !hashutil.IsPow2(m64) || m64 < 64 || m64 > maxReasonable {
+			return h, fmt.Errorf("core: invalid bitmap size %d", m64)
+		}
+		if base != 0 {
+			return h, fmt.Errorf("core: segmented set with nonzero base %d", base)
+		}
+	case RepArray:
+		if m64 != 0 || base != 0 {
+			return h, fmt.Errorf("core: array set with bitmap fields (mBits=%d base=%d)", m64, base)
+		}
+	case RepDense:
+		if m64 == 0 || m64%64 != 0 || m64 > 1<<32 {
+			return h, fmt.Errorf("core: invalid dense span %d bits", m64)
+		}
+		if base%64 != 0 || uint64(base)+m64 > 1<<32 {
+			return h, fmt.Errorf("core: dense cover [%d, %d+%d) exceeds the u32 domain or is misaligned", base, base, m64)
+		}
+		if n64 == 0 || n64 > m64 {
+			return h, fmt.Errorf("core: dense set size %d inconsistent with %d-bit span", n64, m64)
+		}
+	}
+	return h, nil
 }
 
-// ReadSet deserializes a Set written by WriteTo, validating checksums (v2),
-// the header, and every structural invariant — a corrupted or truncated
-// stream yields an error, never a panic or a silently wrong set. Both the v2
-// checksummed format and the legacy v1 format are accepted.
+// ReadSet deserializes a Set written by WriteTo, validating checksums
+// (v2/v3), the header, and every structural invariant — a corrupted or
+// truncated stream yields an error, never a panic or a silently wrong set.
+// The v3 representation-tagged format, the legacy v2 checksummed format and
+// the legacy v1 format are all accepted.
 func ReadSet(r io.Reader) (*Set, error) {
 	s, err := readSet(r)
 	statsOutcome(err, stats.CtrSnapshotReads, stats.CtrSnapshotReadErrors)
@@ -296,16 +411,21 @@ func readSet(r io.Reader) (*Set, error) {
 	}
 	var src io.Reader = br
 	var cr *crcReader
+	v3 := false
 	switch magic {
 	case setMagicV1:
 		// Legacy stream: no checksums, structural validation only.
 	case setMagicV2:
 		cr = &crcReader{r: br, crc: crc32.Update(0, castagnoli, magic[:])}
 		src = cr
+	case setMagicV3:
+		cr = &crcReader{r: br, crc: crc32.Update(0, castagnoli, magic[:])}
+		src = cr
+		v3 = true
 	default:
 		return nil, fmt.Errorf("core: bad magic %q", magic[:])
 	}
-	cfg, n, mBits, err := readSetHeader(src)
+	h, err := readSetHeader(src, v3)
 	if err != nil {
 		return nil, err
 	}
@@ -314,11 +434,43 @@ func readSet(r io.Reader) (*Set, error) {
 			return nil, err
 		}
 	}
-	nseg := int(mBits) / cfg.SegBits
+	switch h.rep {
+	case RepArray:
+		elems, err := readU32s(src, h.n)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading elements: %w", noEOF(err))
+		}
+		if cr != nil {
+			if err := cr.checkCRC("elements"); err != nil {
+				return nil, err
+			}
+		}
+		s := newArrayShell(h.cfg, elems)
+		if err := validateArrayShell(s); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case RepDense:
+		words, err := readU64s(src, int(h.mBits)/64)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading dense words: %w", noEOF(err))
+		}
+		if cr != nil {
+			if err := cr.checkCRC("dense words"); err != nil {
+				return nil, err
+			}
+		}
+		s := newDenseShell(h.cfg, words, h.base, h.n)
+		if err := validateDenseShell(s); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	nseg := int(h.mBits) / h.cfg.SegBits
 
 	// Payload arrays are read in bounded chunks so a forged header cannot
 	// trigger a huge allocation before the (short) stream runs out.
-	words, err := readU64s(src, int(mBits)/64)
+	words, err := readU64s(src, int(h.mBits)/64)
 	if err != nil {
 		return nil, fmt.Errorf("core: reading bitmap: %w", noEOF(err))
 	}
@@ -336,7 +488,7 @@ func readSet(r io.Reader) (*Set, error) {
 			return nil, err
 		}
 	}
-	reordered, err := readU32s(src, n)
+	reordered, err := readU32s(src, h.n)
 	if err != nil {
 		return nil, fmt.Errorf("core: reading elements: %w", noEOF(err))
 	}
@@ -345,7 +497,7 @@ func readSet(r io.Reader) (*Set, error) {
 			return nil, err
 		}
 	}
-	s := newShell(cfg, bitmap.New(mBits, cfg.SegBits), make([]uint32, nseg), offsets, reordered)
+	s := newShell(h.cfg, bitmap.New(h.mBits, h.cfg.SegBits), make([]uint32, nseg), offsets, reordered)
 	copy(s.bm.Words(), words)
 	if err := validateShell(s); err != nil {
 		return nil, err
@@ -413,6 +565,37 @@ func validateShell(s *Set) error {
 			return fmt.Errorf("core: segment %d has %d set bits but %d element hash positions (stray or missing bits)",
 				i, pop, distinct)
 		}
+	}
+	return nil
+}
+
+// validateArrayShell checks the single structural invariant of a
+// deserialized array set: the elements are strictly ascending (which also
+// rules out duplicates).
+func validateArrayShell(s *Set) error {
+	for i := 1; i < len(s.reordered); i++ {
+		if s.reordered[i-1] >= s.reordered[i] {
+			return fmt.Errorf("core: array elements not strictly ascending at index %d", i)
+		}
+	}
+	return nil
+}
+
+// validateDenseShell checks the structural invariants of a deserialized
+// dense set: the word count matches the header's claimed element count, and
+// the cover is canonical — the first and last words are non-empty, so every
+// logically-equal set has exactly one dense encoding (denseLayout's minimal
+// cover). The base/span domain checks already ran in readSetHeader.
+func validateDenseShell(s *Set) error {
+	total := 0
+	for _, w := range s.dense {
+		total += bits.OnesCount64(w)
+	}
+	if total != s.n {
+		return fmt.Errorf("core: dense popcount %d does not match header n=%d", total, s.n)
+	}
+	if s.dense[0] == 0 || s.dense[len(s.dense)-1] == 0 {
+		return fmt.Errorf("core: dense cover not minimal (empty boundary word)")
 	}
 	return nil
 }

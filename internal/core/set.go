@@ -30,11 +30,94 @@ import (
 	"fesia/internal/hashutil"
 	"fesia/internal/kernels"
 	"fesia/internal/simd"
+	"fesia/internal/stats"
 )
+
+// Rep identifies a set's physical representation. A corpus may freely mix
+// representations: every intersection path accepts any (Rep × Rep) pair via
+// the cross-representation dispatch matrix in hybrid.go.
+type Rep uint8
+
+const (
+	// RepSegmented is the FESIA segmented-bitmap structure of the paper's
+	// Fig. 1 — the right layout for large sets of moderate density, where
+	// the bitmap filter prunes most segment pairs.
+	RepSegmented Rep = iota
+	// RepArray stores the elements as a plain sorted []uint32 — 4 bytes per
+	// element with zero metadata, the right layout for tiny or very sparse
+	// sets where segmented-bitmap overhead (~5x the element bytes at the
+	// default scale) dominates.
+	RepArray
+	// RepDense stores a plain bitmap over the set's value span — the right
+	// layout when elements are packed densely enough that one bit per span
+	// position beats four bytes per element, and intersection collapses to
+	// word-AND + popcount.
+	RepDense
+	numReps
+	// RepAuto (build-time only, never the representation of a built set)
+	// selects per set by the density/size heuristic in chooseRep.
+	RepAuto Rep = 0xff
+)
+
+// String returns the representation's stable external name.
+func (r Rep) String() string {
+	switch r {
+	case RepSegmented:
+		return "segmented"
+	case RepArray:
+		return "array"
+	case RepDense:
+		return "dense"
+	case RepAuto:
+		return "auto"
+	}
+	return "invalid"
+}
+
+// Representation-selection heuristic thresholds (RepAuto).
+const (
+	// ArrayMaxLen: sets at or below this size take the array representation.
+	// A segmented bitmap at the default m = n·√w scale costs ~22 bytes per
+	// element in bitmap words and per-segment metadata; a sorted array costs
+	// 4. Below this size the bitmap filter has nothing to amortize against.
+	ArrayMaxLen = 256
+	// DenseMaxBitsPerElem: sets whose value span is at most this many bits
+	// per element take the dense-bitmap representation. At 16 bits per
+	// element the dense bitmap is at most 2 bytes per element — half the
+	// array representation, an order of magnitude under segmented — and the
+	// intersection is a straight word-AND.
+	DenseMaxBitsPerElem = 16
+)
+
+// chooseRep picks a representation for a sorted, deduplicated element list.
+// A forced choice other than RepAuto is honored as-is, with one exception:
+// the dense bitmap has no encoding for the empty set (its canonical cover
+// requires at least one set bit), so empty sets forced dense become arrays,
+// as do empty sets under RepAuto.
+func chooseRep(sorted []uint32, force Rep) Rep {
+	if len(sorted) == 0 {
+		if force == RepSegmented {
+			return RepSegmented
+		}
+		return RepArray
+	}
+	if force != RepAuto {
+		return force
+	}
+	if len(sorted) <= ArrayMaxLen {
+		return RepArray
+	}
+	span := uint64(sorted[len(sorted)-1]) - uint64(sorted[0]) + 1
+	if span <= uint64(len(sorted))*DenseMaxBitsPerElem {
+		return RepDense
+	}
+	return RepSegmented
+}
 
 // Config controls how a Set is built. Sets that will be intersected together
 // must be built with identical Width, SegBits, Seed and Stride; bitmap sizes
 // may differ (they are reconciled via the power-of-two wrapping rule).
+// Representations may differ freely across sets of one corpus.
 type Config struct {
 	// Width selects the emulated vector ISA (SSE, AVX, AVX512).
 	// Default: AVX.
@@ -57,6 +140,15 @@ type Config struct {
 	// other than 1 require Width == AVX512 (the generated tables).
 	// Default: 1.
 	Stride int
+
+	// Rep selects the per-set representation. The zero value RepSegmented
+	// builds the paper's segmented bitmap for every set (the historical
+	// behavior); RepAuto picks segmented / array / dense per set by the
+	// density/size heuristic (chooseRep), and RepArray / RepDense force one
+	// representation for every set — the explicit override knob. Rep is a
+	// build-time knob only: it is not serialized (snapshots record each
+	// set's actual representation instead) and is ignored by compatible().
+	Rep Rep
 }
 
 // DefaultConfig returns the configuration used throughout the paper's main
@@ -100,6 +192,9 @@ func (c Config) normalize() (Config, error) {
 	if c.Stride != 1 && c.Stride != 4 && c.Stride != 8 {
 		return c, fmt.Errorf("core: unsupported kernel stride %d", c.Stride)
 	}
+	if c.Rep >= numReps && c.Rep != RepAuto {
+		return c, fmt.Errorf("core: invalid representation %d", c.Rep)
+	}
 	return c, nil
 }
 
@@ -110,20 +205,33 @@ func (c Config) table() *kernels.Table {
 	return kernels.ForWidth(c.Width)
 }
 
-// Set is a FESIA segmented-bitmap set (the paper's Fig. 1 data structure).
-// It is immutable after construction and safe for concurrent reads.
+// Set is an immutable FESIA set in one of three physical representations:
+// the paper's segmented bitmap (Fig. 1), a plain sorted array, or a dense
+// bitmap over the value span. The representation is chosen at build time
+// (Config.Rep); every intersection path accepts any representation pair.
+// Sets are safe for concurrent reads.
 type Set struct {
 	cfg    Config
 	hasher hashutil.Hasher
 	table  *kernels.Table
 	disp   kernels.Dispatcher // cached jump-table view for the hot loop
 
+	rep Rep
+
+	// Segmented-bitmap state (RepSegmented). reordered doubles as the
+	// sorted element array of RepArray sets (with bm/offsets/sizes nil).
 	bm        *bitmap.Bitmap
 	offsets   []uint32 // nseg+1 prefix sums into reordered
 	sizes     []uint32 // per-segment element counts (the paper's Size array)
-	reordered []uint32 // the paper's ReorderedSet
+	reordered []uint32 // the paper's ReorderedSet; ascending elements for RepArray
 	n         int
 	maxSeg    int // largest segment size, for scratch buffer sizing
+
+	// Dense-bitmap state (RepDense): bit i of dense is set iff base+64*w+i
+	// is an element. base is 64-aligned; the first and last words are
+	// non-zero (canonical minimal cover).
+	dense []uint64
+	base  uint32
 }
 
 // NewSet builds a Set from elems. The input may be unsorted and contain
@@ -135,11 +243,23 @@ func NewSet(elems []uint32, cfg Config) (*Set, error) {
 		return nil, err
 	}
 	sorted := sortDedup(elems)
+	switch chooseRep(sorted, cfg.Rep) {
+	case RepArray:
+		statsInc(stats.CtrBuildArray)
+		return newArrayShell(cfg, sorted), nil
+	case RepDense:
+		base, nwords := denseLayout(sorted)
+		s := newDenseShell(cfg, make([]uint64, nwords), base, len(sorted))
+		fillDense(s.dense, base, sorted)
+		statsInc(stats.CtrBuildDense)
+		return s, nil
+	}
 	mBits := bitmapBits(len(sorted), cfg.Scale)
 	nseg := int(mBits) / cfg.SegBits
 	s := newShell(cfg, bitmap.New(mBits, cfg.SegBits),
 		make([]uint32, nseg), make([]uint32, nseg+1), make([]uint32, len(sorted)))
 	s.fill(sorted)
+	statsInc(stats.CtrBuildSegmented)
 	return s, nil
 }
 
@@ -150,30 +270,30 @@ func NewSetBatch(lists [][]uint32, cfg Config) ([]*Set, error) {
 }
 
 // BuildSets constructs a whole corpus of Sets into ONE contiguous backing
-// allocation: for each set, its bitmap words, then its sizes, offsets and
-// reordered arrays (the uint32 region padded to word alignment), laid out
-// back to back in input order. A workload that intersects one query against
-// many small candidate sets — per-vertex neighbor lists in triangle
-// counting, per-keyword posting lists in an inverted index — then walks one
-// contiguous arena in candidate order instead of chasing four heap pointers
-// per set. The sets behave exactly like NewSet's; note that every set keeps
-// the whole arena alive, so release all sets of a batch together.
+// allocation: for each set, its 64-bit word region (segmented-bitmap words
+// or dense-bitmap words), then its uint32 region (sizes+offsets+reordered
+// for segmented sets, the sorted element array for array sets) padded to
+// word alignment, laid out back to back in input order. A workload that
+// intersects one query against many small candidate sets — per-vertex
+// neighbor lists in triangle counting, per-keyword posting lists in an
+// inverted index — then walks one contiguous arena in candidate order
+// instead of chasing four heap pointers per set. Each set's representation
+// follows cfg.Rep (heuristic per set under RepAuto). The sets behave
+// exactly like NewSet's; note that every set keeps the whole arena alive,
+// so release all sets of a batch together.
 func BuildSets(lists [][]uint32, cfg Config) ([]*Set, error) {
 	cfg, err := cfg.normalize()
 	if err != nil {
 		return nil, err
 	}
 	sortedLists := make([][]uint32, len(lists))
-	mBitsOf := make([]uint64, len(lists))
+	reps := make([]Rep, len(lists))
 	totalU64 := 0 // arena size in 64-bit words
 	for i, l := range lists {
 		sorted := sortDedup(l)
 		sortedLists[i] = sorted
-		m := bitmapBits(len(sorted), cfg.Scale)
-		mBitsOf[i] = m
-		nseg := int(m) / cfg.SegBits
-		u32 := nseg + (nseg + 1) + len(sorted) // sizes + offsets + reordered
-		totalU64 += int(m)/64 + (u32+1)/2
+		reps[i] = chooseRep(sorted, cfg.Rep)
+		totalU64 += arenaWords(reps[i], sorted, cfg)
 	}
 	if len(lists) == 0 {
 		return []*Set{}, nil
@@ -182,23 +302,58 @@ func BuildSets(lists [][]uint32, cfg Config) ([]*Set, error) {
 	sets := make([]*Set, len(lists))
 	at := 0
 	for i, sorted := range sortedLists {
-		mBits := mBitsOf[i]
-		nseg := int(mBits) / cfg.SegBits
-		nwords := int(mBits) / 64
-		words := arena[at : at+nwords : at+nwords]
-		at += nwords
-		u32Len := nseg + (nseg + 1) + len(sorted)
-		u32 := unsafe.Slice((*uint32)(unsafe.Pointer(&arena[at])), u32Len)
-		at += (u32Len + 1) / 2
-		sizes := u32[:nseg:nseg]
-		offsets := u32[nseg : 2*nseg+1 : 2*nseg+1]
-		reordered := u32[2*nseg+1 : u32Len : u32Len]
-		s := newShell(cfg, bitmap.NewFromWords(words, mBits, cfg.SegBits),
-			sizes, offsets, reordered)
-		s.fill(sorted)
-		sets[i] = s
+		switch reps[i] {
+		case RepArray:
+			var elems []uint32
+			if len(sorted) > 0 {
+				elems = unsafe.Slice((*uint32)(unsafe.Pointer(&arena[at])), len(sorted))
+				at += (len(sorted) + 1) / 2
+				copy(elems, sorted)
+			}
+			sets[i] = newArrayShell(cfg, elems)
+			statsInc(stats.CtrBuildArray)
+		case RepDense:
+			base, nwords := denseLayout(sorted)
+			words := arena[at : at+nwords : at+nwords]
+			at += nwords
+			fillDense(words, base, sorted)
+			sets[i] = newDenseShell(cfg, words, base, len(sorted))
+			statsInc(stats.CtrBuildDense)
+		default:
+			mBits := bitmapBits(len(sorted), cfg.Scale)
+			nseg := int(mBits) / cfg.SegBits
+			nwords := int(mBits) / 64
+			words := arena[at : at+nwords : at+nwords]
+			at += nwords
+			u32Len := nseg + (nseg + 1) + len(sorted)
+			u32 := unsafe.Slice((*uint32)(unsafe.Pointer(&arena[at])), u32Len)
+			at += (u32Len + 1) / 2
+			sizes := u32[:nseg:nseg]
+			offsets := u32[nseg : 2*nseg+1 : 2*nseg+1]
+			reordered := u32[2*nseg+1 : u32Len : u32Len]
+			s := newShell(cfg, bitmap.NewFromWords(words, mBits, cfg.SegBits),
+				sizes, offsets, reordered)
+			s.fill(sorted)
+			sets[i] = s
+			statsInc(stats.CtrBuildSegmented)
+		}
 	}
 	return sets, nil
+}
+
+// arenaWords returns one set's arena footprint in 64-bit words.
+func arenaWords(rep Rep, sorted []uint32, cfg Config) int {
+	switch rep {
+	case RepArray:
+		return (len(sorted) + 1) / 2
+	case RepDense:
+		_, nwords := denseLayout(sorted)
+		return nwords
+	}
+	m := bitmapBits(len(sorted), cfg.Scale)
+	nseg := int(m) / cfg.SegBits
+	u32 := nseg + (nseg + 1) + len(sorted) // sizes + offsets + reordered
+	return int(m)/64 + (u32+1)/2
 }
 
 // sortDedup copies, sorts and deduplicates the input.
@@ -234,11 +389,61 @@ func newShell(cfg Config, bm *bitmap.Bitmap, sizes, offsets, reordered []uint32)
 		hasher:    hashutil.New(cfg.Seed),
 		table:     table,
 		disp:      table.Dispatcher(),
+		rep:       RepSegmented,
 		bm:        bm,
 		n:         len(reordered),
 		sizes:     sizes,
 		offsets:   offsets,
 		reordered: reordered,
+	}
+}
+
+// newArrayShell assembles a RepArray Set around a sorted, duplicate-free
+// (possibly arena-backed) element slice. elems is retained, not copied.
+func newArrayShell(cfg Config, elems []uint32) *Set {
+	table := cfg.table()
+	return &Set{
+		cfg:       cfg,
+		hasher:    hashutil.New(cfg.Seed),
+		table:     table,
+		disp:      table.Dispatcher(),
+		rep:       RepArray,
+		n:         len(elems),
+		reordered: elems,
+	}
+}
+
+// newDenseShell assembles a RepDense Set around a (possibly arena-backed)
+// word slice covering [base, base+64*len(words)). words is retained.
+func newDenseShell(cfg Config, words []uint64, base uint32, n int) *Set {
+	table := cfg.table()
+	return &Set{
+		cfg:    cfg,
+		hasher: hashutil.New(cfg.Seed),
+		table:  table,
+		disp:   table.Dispatcher(),
+		rep:    RepDense,
+		n:      n,
+		dense:  words,
+		base:   base,
+	}
+}
+
+// denseLayout computes the canonical dense-bitmap cover of a non-empty
+// sorted element list: base is the smallest element rounded down to a word
+// boundary, nwords the minimal word count reaching the largest element.
+func denseLayout(sorted []uint32) (base uint32, nwords int) {
+	base = sorted[0] &^ 63
+	nwords = int(sorted[len(sorted)-1]-base)>>6 + 1
+	return base, nwords
+}
+
+// fillDense sets one bit per element into a zeroed word slice laid out by
+// denseLayout.
+func fillDense(words []uint64, base uint32, sorted []uint32) {
+	for _, v := range sorted {
+		idx := v - base
+		words[idx>>6] |= 1 << (idx & 63)
 	}
 }
 
@@ -290,13 +495,31 @@ func (s *Set) Len() int { return s.n }
 // Config returns the normalized build configuration.
 func (s *Set) Config() Config { return s.cfg }
 
-// BitmapBits returns m, the bitmap size in bits.
-func (s *Set) BitmapBits() uint64 { return s.bm.Bits() }
+// Rep returns the set's physical representation.
+func (s *Set) Rep() Rep { return s.rep }
 
-// NumSegments returns m/s.
-func (s *Set) NumSegments() int { return s.bm.NumSegments() }
+// BitmapBits returns the bitmap size in bits: m for segmented sets, the
+// covered span for dense sets, 0 for array sets (no bitmap).
+func (s *Set) BitmapBits() uint64 {
+	switch s.rep {
+	case RepArray:
+		return 0
+	case RepDense:
+		return uint64(len(s.dense)) * 64
+	}
+	return s.bm.Bits()
+}
 
-// MaxSegmentLen returns the size of the largest segment list.
+// NumSegments returns m/s for segmented sets and 0 otherwise.
+func (s *Set) NumSegments() int {
+	if s.rep != RepSegmented {
+		return 0
+	}
+	return s.bm.NumSegments()
+}
+
+// MaxSegmentLen returns the size of the largest segment list (0 for
+// non-segmented sets).
 func (s *Set) MaxSegmentLen() int { return s.maxSeg }
 
 // segment returns the sorted element list of segment i.
@@ -304,14 +527,34 @@ func (s *Set) segment(i int) []uint32 {
 	return s.reordered[s.offsets[i]:s.offsets[i+1]]
 }
 
-// Segment returns a copy-free view of segment i's sorted elements. The
-// returned slice must not be modified.
-func (s *Set) Segment(i int) []uint32 { return s.segment(i) }
+// Segment returns a copy-free view of segment i's sorted elements (segmented
+// sets only; nil otherwise). The returned slice must not be modified.
+func (s *Set) Segment(i int) []uint32 {
+	if s.rep != RepSegmented {
+		return nil
+	}
+	return s.segment(i)
+}
 
-// Contains reports whether x is in the set, using the single-element probe
-// of the skewed-input strategy: test the bitmap bit, then search the one
-// segment the bit selects.
+// Contains reports whether x is in the set. Segmented sets use the
+// single-element probe of the skewed-input strategy: test the bitmap bit,
+// then search the one segment the bit selects. Array sets binary-search;
+// dense sets test one bit.
 func (s *Set) Contains(x uint32) bool {
+	switch s.rep {
+	case RepArray:
+		_, found := slices.BinarySearch(s.reordered, x)
+		return found
+	case RepDense:
+		if x < s.base {
+			return false
+		}
+		idx := x - s.base
+		if int(idx>>6) >= len(s.dense) {
+			return false
+		}
+		return s.dense[idx>>6]&(1<<(idx&63)) != 0
+	}
 	pos := s.hasher.Pos(x, s.bm.Bits())
 	if !s.bm.Test(pos) {
 		return false
@@ -330,6 +573,19 @@ func (s *Set) Contains(x uint32) bool {
 // Elements returns the set's distinct elements in ascending order (a fresh
 // slice).
 func (s *Set) Elements() []uint32 {
+	switch s.rep {
+	case RepArray:
+		return append([]uint32(nil), s.reordered...)
+	case RepDense:
+		out := make([]uint32, 0, s.n)
+		for w, word := range s.dense {
+			for word != 0 {
+				out = append(out, s.base+uint32(w)<<6+uint32(simd.Tzcnt64(word)))
+				word &= word - 1
+			}
+		}
+		return out
+	}
 	out := append([]uint32(nil), s.reordered...)
 	slices.Sort(out)
 	return out
@@ -338,34 +594,55 @@ func (s *Set) Elements() []uint32 {
 // MemoryBytes reports the approximate heap footprint of the structure, for
 // the dataset tables.
 func (s *Set) MemoryBytes() int {
+	switch s.rep {
+	case RepArray:
+		return len(s.reordered) * 4
+	case RepDense:
+		return len(s.dense) * 8
+	}
 	return len(s.bm.Words())*8 + len(s.offsets)*4 + len(s.sizes)*4 + len(s.reordered)*4
 }
 
-// Stats summarizes the segmented-bitmap layout of a Set — the quantities
-// the Section III-D analysis reasons about when choosing m and s.
+// Stats summarizes the physical layout of a Set. The segment-level fields
+// describe the segmented-bitmap layout — the quantities the Section III-D
+// analysis reasons about when choosing m and s — and are zero for the array
+// and dense representations.
 type Stats struct {
+	Rep              Rep     // physical representation
 	N                int     // distinct elements
-	BitmapBits       uint64  // m
+	MemoryBytes      int     // approximate heap footprint
+	BitmapBits       uint64  // m (segmented) / covered span (dense) / 0 (array)
 	SegmentBits      int     // s
 	Segments         int     // m/s
 	NonEmptySegments int     // segments holding at least one element
 	MaxSegmentLen    int     // largest segment list
 	MeanOccupied     float64 // mean elements per non-empty segment
-	BitDensity       float64 // set bits / m (drives false-positive rate)
+	BitDensity       float64 // set bits / bitmap bits (drives false positives)
 	// SegmentSizeHist[k] counts segments with exactly k elements, for
 	// k < len(SegmentSizeHist); the last bucket aggregates everything
 	// at or above its index.
 	SegmentSizeHist []int
 }
 
-// Stats computes layout statistics (O(m/s)).
+// Stats computes layout statistics (O(m/s) for segmented sets).
 func (s *Set) Stats() Stats {
 	st := Stats{
+		Rep:         s.rep,
 		N:           s.n,
-		BitmapBits:  s.bm.Bits(),
-		SegmentBits: s.bm.SegBits(),
-		Segments:    s.bm.NumSegments(),
+		MemoryBytes: s.MemoryBytes(),
+		BitmapBits:  s.BitmapBits(),
 	}
+	switch s.rep {
+	case RepArray:
+		return st
+	case RepDense:
+		if len(s.dense) > 0 {
+			st.BitDensity = float64(s.n) / float64(64*len(s.dense))
+		}
+		return st
+	}
+	st.SegmentBits = s.bm.SegBits()
+	st.Segments = s.bm.NumSegments()
 	const histBuckets = 9
 	st.SegmentSizeHist = make([]int, histBuckets)
 	for _, c := range s.sizes {

@@ -21,6 +21,16 @@ var promCounters = [NumCounters]promSeries{
 	CtrQueriesHash:         {"fesia_queries_total", `{strategy="hash"}`, ""},
 	CtrQueriesKWay:         {"fesia_queries_total", `{strategy="kway"}`, ""},
 	CtrQueriesBatch:        {"fesia_queries_total", `{strategy="batch"}`, ""},
+	CtrQueriesCross:        {"fesia_queries_total", `{strategy="cross"}`, ""},
+	CtrBuildSegmented:      {"fesia_sets_built_total", `{rep="segmented"}`, "Sets built, by physical representation."},
+	CtrBuildArray:          {"fesia_sets_built_total", `{rep="array"}`, ""},
+	CtrBuildDense:          {"fesia_sets_built_total", `{rep="dense"}`, ""},
+	CtrDispSegSeg:          {"fesia_rep_dispatch_total", `{pair="seg_seg"}`, "Pair queries routed through the cross-representation dispatch matrix, by unordered representation pair."},
+	CtrDispSegArray:        {"fesia_rep_dispatch_total", `{pair="seg_array"}`, ""},
+	CtrDispSegDense:        {"fesia_rep_dispatch_total", `{pair="seg_dense"}`, ""},
+	CtrDispArrayArray:      {"fesia_rep_dispatch_total", `{pair="array_array"}`, ""},
+	CtrDispArrayDense:      {"fesia_rep_dispatch_total", `{pair="array_dense"}`, ""},
+	CtrDispDenseDense:      {"fesia_rep_dispatch_total", `{pair="dense_dense"}`, ""},
 	CtrBatchCandidates:     {"fesia_batch_candidates_total", "", "Candidates processed by one-vs-many batch queries."},
 	CtrSegmentsScanned:     {"fesia_segments_scanned_total", "", "Segments examined by the bitmap word-AND pass (merge strategy)."},
 	CtrSegPairs:            {"fesia_segment_pairs_total", "", "Segment pairs surviving the bitmap filter and dispatched to kernels."},

@@ -42,6 +42,23 @@ const (
 	CtrQueriesHash
 	CtrQueriesKWay
 	CtrQueriesBatch // one-vs-many batch calls (CountMany and friends)
+	CtrQueriesCross // pair queries routed to a cross-representation path
+
+	// Per-representation build counts (one increment per set built).
+	CtrBuildSegmented
+	CtrBuildArray
+	CtrBuildDense
+
+	// Cross-representation dispatch matrix: one increment per pair query,
+	// keyed by the unordered representation pair it was routed to. SegSeg
+	// counts only queries that took the hybrid dispatcher's seg×seg entry
+	// (the classic merge/hash strategies keep their own counters above).
+	CtrDispSegSeg
+	CtrDispSegArray
+	CtrDispSegDense
+	CtrDispArrayArray
+	CtrDispArrayDense
+	CtrDispDenseDense
 
 	// Batch shape.
 	CtrBatchCandidates // candidates processed across batch calls
@@ -86,6 +103,16 @@ var counterNames = [NumCounters]string{
 	CtrQueriesHash:         "queries_hash",
 	CtrQueriesKWay:         "queries_kway",
 	CtrQueriesBatch:        "queries_batch",
+	CtrQueriesCross:        "queries_cross",
+	CtrBuildSegmented:      "build_segmented",
+	CtrBuildArray:          "build_array",
+	CtrBuildDense:          "build_dense",
+	CtrDispSegSeg:          "dispatch_seg_seg",
+	CtrDispSegArray:        "dispatch_seg_array",
+	CtrDispSegDense:        "dispatch_seg_dense",
+	CtrDispArrayArray:      "dispatch_array_array",
+	CtrDispArrayDense:      "dispatch_array_dense",
+	CtrDispDenseDense:      "dispatch_dense_dense",
 	CtrBatchCandidates:     "batch_candidates",
 	CtrSegmentsScanned:     "segments_scanned",
 	CtrSegPairs:            "segment_pairs",
@@ -115,6 +142,7 @@ const (
 	LatHash
 	LatKWay
 	LatBatch
+	LatCross    // cross-representation pair queries
 	NumLatHists // keep last
 )
 
@@ -123,6 +151,7 @@ var latNames = [NumLatHists]string{
 	LatHash:  "hash",
 	LatKWay:  "kway",
 	LatBatch: "batch",
+	LatCross: "cross",
 }
 
 // Name returns the histogram's strategy label.
