@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover check lint bench benchcheck batchbench ablation fuzz fuzzsmoke kernels experiments examples clean
+.PHONY: all build test race cover check lint bench benchcheck batchbench planbench ablation fuzz fuzzsmoke kernels experiments examples clean
 
 all: build test
 
@@ -54,7 +54,7 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
-# Benchmark regression gate, four parts:
+# Benchmark regression gate, five parts:
 #   1. strategy micro-benchmarks vs the committed baseline (>15% ns/op fails);
 #   2. SIMD backend pairing — every asm routine vs its pure-Go reference,
 #      with built-in structural gates (fused filter >= 1.5x, end-to-end merge
@@ -64,7 +64,11 @@ bench:
 #   4. hybrid representations vs all-segmented — >= 3x bytes/element on the
 #      sparse-heavy corpus and >= 1.2x CountMany throughput on the
 #      dense-heavy corpus (built-in gates in -hybridjson, BENCH_hybrid.json
-#      regenerated).
+#      regenerated);
+#   5. the adaptive planner vs the static heuristics — learned mode must beat
+#      static by >= 1.10x on the mispriced crossover corpus and stay within
+#      noise of it on the uniform corpus (built-in gates in -planjson,
+#      BENCH_planner.json regenerated).
 # Regenerate the micro baseline after intentional performance changes with:
 #   $(GO) run ./cmd/fesiabench -json -quick && cp BENCH_intersect.json BENCH_baseline.json
 benchcheck:
@@ -72,6 +76,11 @@ benchcheck:
 	$(GO) run ./cmd/fesiabench -simdjson -quick
 	$(GO) run ./cmd/fesiabench -batchjson -quick
 	$(GO) run ./cmd/fesiabench -hybridjson -quick
+	$(GO) run ./cmd/fesiabench -planjson -quick
+
+# Adaptive planner vs static heuristics at full scale (writes BENCH_planner.json).
+planbench:
+	$(GO) run ./cmd/fesiabench -planjson
 
 # One-vs-many batch engine vs pairwise loop (writes BENCH_batch.json).
 batchbench:

@@ -119,6 +119,7 @@ func main() {
 	batchJSON := flag.Bool("batchjson", false, "benchmark the one-vs-many batch engine and write BENCH_batch.json")
 	simdJSON := flag.Bool("simdjson", false, "benchmark the assembly backend against pure Go and write BENCH_simd.json")
 	hybridJSON := flag.Bool("hybridjson", false, "benchmark hybrid per-set representations against all-segmented and write BENCH_hybrid.json")
+	planJSON := flag.Bool("planjson", false, "benchmark the adaptive planner against the static heuristics and write BENCH_planner.json")
 	snapshot := flag.Bool("snapshot", false, "round-trip a corpus through the checksummed snapshot files and verify")
 	baseline := flag.String("baseline", "", "with -json/-batchjson: fail on >15% ns/op regression vs this baseline file")
 	statsDump := flag.Bool("stats", false, "enable the observability sink and dump the kernel-dispatch histogram after the run")
@@ -170,6 +171,13 @@ func main() {
 	if *hybridJSON {
 		fmt.Printf("fesiabench: hybrid representation benchmarks (quick=%v)\n", *quick)
 		if err := runHybridBench("BENCH_hybrid.json", *quick); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *planJSON {
+		fmt.Printf("fesiabench: adaptive planner benchmarks (quick=%v, backend=%s)\n", *quick, simd.Backend())
+		if err := runPlannerBench("BENCH_planner.json", *quick); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -236,10 +244,25 @@ func dumpKernelStats() {
 	}
 	snap := sink.Snapshot()
 	fmt.Printf("\n--- observability dump (-stats) ---\n")
-	fmt.Printf("queries: merge=%d hash=%d kway=%d batch=%d cancelled=%d\n",
+	fmt.Printf("queries: merge=%d hash=%d kway=%d batch=%d cross=%d cancelled=%d\n",
 		snap.Counter(stats.CtrQueriesMerge), snap.Counter(stats.CtrQueriesHash),
 		snap.Counter(stats.CtrQueriesKWay), snap.Counter(stats.CtrQueriesBatch),
-		snap.Counter(stats.CtrCancellations))
+		snap.Counter(stats.CtrQueriesCross), snap.Counter(stats.CtrCancellations))
+	lats := []struct {
+		name string
+		h    stats.LatHist
+	}{
+		{"merge", stats.LatMerge}, {"hash", stats.LatHash}, {"kway", stats.LatKWay},
+		{"batch", stats.LatBatch}, {"cross", stats.LatCross},
+	}
+	for _, l := range lats {
+		ls := snap.Latency(l.h)
+		if ls.Count == 0 {
+			continue
+		}
+		fmt.Printf("latency %-6s n=%-10d mean=%-12v p50=%-12v p99=%v\n",
+			l.name, ls.Count, ls.Mean(), ls.Quantile(0.50), ls.Quantile(0.99))
+	}
 	if scanned := snap.Counter(stats.CtrSegmentsScanned); scanned > 0 {
 		fmt.Printf("segment survival: %d pairs / %d scanned (%.4f)\n",
 			snap.Counter(stats.CtrSegPairs), scanned,

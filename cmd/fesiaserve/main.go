@@ -42,6 +42,7 @@ type serverConfig struct {
 	meanLen int
 	seed    int64
 	timeout time.Duration // per-query deadline on /query and the load generator
+	planner string        // adaptive-planner mode: off, prior or learned
 }
 
 // server holds the index and the set of items frequent enough to query.
@@ -51,10 +52,22 @@ type server struct {
 	queryable []uint32 // items with a non-trivial posting list
 }
 
-// newServer builds the corpus and index and enables the process-wide stats
-// sink (idempotent), so every executor created afterwards is instrumented.
+// newServer builds the corpus and index, enables the process-wide stats sink
+// (idempotent), and installs the adaptive planner in the requested mode —
+// both before any executor exists, so every executor created afterwards is
+// instrumented and planner-attached.
 func newServer(cfg serverConfig) (*server, error) {
 	fesia.EnableStats()
+	switch cfg.planner {
+	case "", "off":
+		fesia.EnablePlanner(fesia.WithPlanner(fesia.PlannerOff))
+	case "prior":
+		fesia.EnablePlanner(fesia.WithPlanner(fesia.PlannerPrior))
+	case "learned":
+		fesia.EnablePlanner(fesia.WithPlanner(fesia.PlannerLearned))
+	default:
+		return nil, fmt.Errorf("fesiaserve: unknown planner mode %q (off, prior or learned)", cfg.planner)
+	}
 	if cfg.timeout <= 0 {
 		cfg.timeout = time.Second
 	}
@@ -210,11 +223,13 @@ func main() {
 	load := flag.Int("load", 0, "background load-generator workers (0 = none)")
 	delay := flag.Duration("delay", 5*time.Millisecond, "load-generator pause between 64-query batches")
 	timeout := flag.Duration("timeout", time.Second, "per-query deadline")
+	plannerMode := flag.String("planner", "learned", "adaptive strategy planner: off, prior or learned")
 	flag.Parse()
 
 	log.Printf("building corpus (%d docs, %d items)...", *docs, *items)
 	s, err := newServer(serverConfig{
 		docs: *docs, items: *items, meanLen: *meanLen, seed: *seed, timeout: *timeout,
+		planner: *plannerMode,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -225,6 +240,7 @@ func main() {
 		log.Printf("starting %d load workers", *load)
 		s.startLoad(context.Background(), *load, *delay)
 	}
-	log.Printf("serving on %s (backend %s; /metrics, /debug/vars, /debug/pprof/, /query)", *addr, fesia.Backend())
+	log.Printf("serving on %s (backend %s, planner %s; /metrics, /debug/vars, /debug/pprof/, /query)",
+		*addr, fesia.Backend(), fesia.ActivePlannerMode())
 	log.Fatal(http.ListenAndServe(*addr, nil))
 }

@@ -457,27 +457,33 @@ func (e *Executor) CountMany(q *Set, candidates []*Set, out []int) {
 	e.ensureProbe()
 	recs := e.staged
 	var touch uint32
+	h := e.plan
 	for i, c := range candidates {
 		compatible(q, c)
 		switch {
 		case c.n == 0 || q.n == 0:
 			out[i] = 0
 		case crossPair(q, c):
-			out[i] = crossRun(&e.denseAnd, q, c, nil, nil, st)
-		case useHash(q, c):
-			small, large := q, c
-			if small.n > large.n {
-				small, large = large, small
-			}
-			var t uint32
-			out[i], t = hashProbeBatch(&e.qcache, q, small, large, e.probeStage, nil, nil, st)
-			touch += t
+			out[i] = crossRun(h, &e.denseAnd, q, c, nil, nil, st)
 		default:
-			var n int
-			var t uint32
-			n, recs, t = countMergeStaged(q, c, recs, st, e.kernelShard())
-			out[i] = n
-			touch += t
+			ch, hash := planSegSeg(h, st, q, c)
+			pstart := planStart(ch)
+			if hash {
+				small, large := q, c
+				if small.n > large.n {
+					small, large = large, small
+				}
+				var t uint32
+				out[i], t = hashProbeBatch(&e.qcache, q, small, large, e.probeStage, nil, nil, st)
+				touch += t
+			} else {
+				var n int
+				var t uint32
+				n, recs, t = countMergeStaged(q, c, recs, st, e.kernelShard())
+				out[i] = n
+				touch += t
+			}
+			planRecord(h, ch, pstart)
 		}
 	}
 	e.staged = recs
@@ -507,6 +513,7 @@ func (e *Executor) IntersectManyInto(dst []uint32, counts []int, q *Set, candida
 	e.ensureProbe()
 	recs := e.staged
 	var touch uint32
+	h := e.plan
 	total := 0
 	for i, c := range candidates {
 		compatible(q, c)
@@ -515,28 +522,33 @@ func (e *Executor) IntersectManyInto(dst []uint32, counts []int, q *Set, candida
 		case c.n == 0 || q.n == 0:
 			// nothing to write
 		case crossPair(q, c):
-			n = crossRun(&e.denseAnd, q, c, dst[total:], nil, st)
-		case useHash(q, c):
-			small, large := q, c
-			if small.n > large.n {
-				small, large = large, small
-			}
-			var t uint32
-			n, t = hashProbeBatch(&e.qcache, q, small, large, e.probeStage, dst[total:], nil, st)
-			touch += t
+			n = crossRun(h, &e.denseAnd, q, c, dst[total:], nil, st)
 		default:
-			x, y := ordered(q, c)
-			recs = stageSegPairs(x, y, recs[:0])
-			if st != nil {
-				if kst := e.kernelShard(); kst != nil {
-					recordStagedKernels(kst, recs)
+			ch, hash := planSegSeg(h, st, q, c)
+			pstart := planStart(ch)
+			if hash {
+				small, large := q, c
+				if small.n > large.n {
+					small, large = large, small
 				}
-				st.Add(stats.CtrSegPairs, uint64(len(recs)))
-				st.Add(stats.CtrSegmentsScanned, uint64(x.bm.NumSegments()))
+				var t uint32
+				n, t = hashProbeBatch(&e.qcache, q, small, large, e.probeStage, dst[total:], nil, st)
+				touch += t
+			} else {
+				x, y := ordered(q, c)
+				recs = stageSegPairs(x, y, recs[:0])
+				if st != nil {
+					if kst := e.kernelShard(); kst != nil {
+						recordStagedKernels(kst, recs)
+					}
+					st.Add(stats.CtrSegPairs, uint64(len(recs)))
+					st.Add(stats.CtrSegmentsScanned, uint64(x.bm.NumSegments()))
+				}
+				var t uint32
+				n, t = dispatchStagedIntersect(&x.disp, dst[total:], x.reordered, y.reordered, recs)
+				touch += t
 			}
-			var t uint32
-			n, t = dispatchStagedIntersect(&x.disp, dst[total:], x.reordered, y.reordered, recs)
-			touch += t
+			planRecord(h, ch, pstart)
 		}
 		counts[i] = n
 		total += n
@@ -563,6 +575,7 @@ func (e *Executor) VisitMany(q *Set, candidates []*Set, emit func(candidate int,
 	e.ensureProbe()
 	recs := e.staged
 	scratch := e.scratch
+	h := e.plan
 	cand := 0
 	emit1 := func(v uint32) { emit(cand, v) }
 	for i, c := range candidates {
@@ -572,39 +585,44 @@ func (e *Executor) VisitMany(q *Set, candidates []*Set, emit func(candidate int,
 		case c.n == 0 || q.n == 0:
 			// nothing to emit
 		case crossPair(q, c):
-			crossRun(&e.denseAnd, q, c, nil, emit1, st)
-		case useHash(q, c):
-			small, large := q, c
-			if small.n > large.n {
-				small, large = large, small
-			}
-			_, t := hashProbeBatch(&e.qcache, q, small, large, e.probeStage, nil, emit1, st)
-			e.touchSink += t
+			crossRun(h, &e.denseAnd, q, c, nil, emit1, st)
 		default:
-			x, y := ordered(q, c)
-			recs = stageSegPairs(x, y, recs[:0])
-			if st != nil {
-				if kst := e.kernelShard(); kst != nil {
-					recordStagedKernels(kst, recs)
+			ch, hash := planSegSeg(h, st, q, c)
+			pstart := planStart(ch)
+			if hash {
+				small, large := q, c
+				if small.n > large.n {
+					small, large = large, small
 				}
-				st.Add(stats.CtrSegPairs, uint64(len(recs)))
-				st.Add(stats.CtrSegmentsScanned, uint64(x.bm.NumSegments()))
+				_, t := hashProbeBatch(&e.qcache, q, small, large, e.probeStage, nil, emit1, st)
+				e.touchSink += t
+			} else {
+				x, y := ordered(q, c)
+				recs = stageSegPairs(x, y, recs[:0])
+				if st != nil {
+					if kst := e.kernelShard(); kst != nil {
+						recordStagedKernels(kst, recs)
+					}
+					st.Add(stats.CtrSegPairs, uint64(len(recs)))
+					st.Add(stats.CtrSegmentsScanned, uint64(x.bm.NumSegments()))
+				}
+				scratch = growU32(scratch, max(min(x.maxSeg, y.maxSeg), 1))
+				d := &x.disp
+				xr, yr := x.reordered, y.reordered
+				for _, r := range recs {
+					a := xr[r.oa:r.oaEnd]
+					b := yr[r.ob:r.obEnd]
+					if r.ctrl == stagedGeneric {
+						kernels.GenericVisit(a, b, emit1)
+						continue
+					}
+					n := d.Inter[r.ctrl](scratch, a, b)
+					for _, v := range scratch[:n] {
+						emit(i, v)
+					}
+				}
 			}
-			scratch = growU32(scratch, max(min(x.maxSeg, y.maxSeg), 1))
-			d := &x.disp
-			xr, yr := x.reordered, y.reordered
-			for _, r := range recs {
-				a := xr[r.oa:r.oaEnd]
-				b := yr[r.ob:r.obEnd]
-				if r.ctrl == stagedGeneric {
-					kernels.GenericVisit(a, b, emit1)
-					continue
-				}
-				n := d.Inter[r.ctrl](scratch, a, b)
-				for _, v := range scratch[:n] {
-					emit(i, v)
-				}
-			}
+			planRecord(h, ch, pstart)
 		}
 	}
 	e.staged = recs
@@ -681,6 +699,7 @@ func (e *Executor) CountManyParallel(q *Set, candidates []*Set, out []int, worke
 		ws.qcache.bits = 0
 		recs := ws.staged
 		var touch uint32
+		h := ws.plan
 		seq := 0 // per-worker merge-candidate index for kernel sampling
 		for k := w; k < len(sched); k += workers {
 			i := sched[k]
@@ -690,22 +709,27 @@ func (e *Executor) CountManyParallel(q *Set, candidates []*Set, out []int, worke
 			case c.n == 0 || q.n == 0:
 				out[i] = 0
 			case crossPair(q, c):
-				out[i] = crossRun(&ws.denseAnd, q, c, nil, nil, ws.st)
-			case useHash(q, c):
-				small, large := q, c
-				if small.n > large.n {
-					small, large = large, small
-				}
-				var t uint32
-				out[i], t = hashProbeBatch(&ws.qcache, q, small, large, ws.probeStage, nil, nil, ws.st)
-				touch += t
+				out[i] = crossRun(h, &ws.denseAnd, q, c, nil, nil, ws.st)
 			default:
-				var n int
-				var t uint32
-				n, recs, t = countMergeStaged(q, c, recs, ws.st, sampleShard(ws.st, seq))
-				seq++
-				out[i] = n
-				touch += t
+				ch, hash := planSegSeg(h, ws.st, q, c)
+				pstart := planStart(ch)
+				if hash {
+					small, large := q, c
+					if small.n > large.n {
+						small, large = large, small
+					}
+					var t uint32
+					out[i], t = hashProbeBatch(&ws.qcache, q, small, large, ws.probeStage, nil, nil, ws.st)
+					touch += t
+				} else {
+					var n int
+					var t uint32
+					n, recs, t = countMergeStaged(q, c, recs, ws.st, sampleShard(ws.st, seq))
+					seq++
+					out[i] = n
+					touch += t
+				}
+				planRecord(h, ch, pstart)
 			}
 		}
 		ws.staged = recs

@@ -4,6 +4,7 @@ import (
 	"context"
 	"time"
 
+	"fesia/internal/planner"
 	"fesia/internal/stats"
 )
 
@@ -58,27 +59,30 @@ func (e *Executor) CountCtx(ctx context.Context, a, b *Set) (int, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, e.noteCancel(err)
 	}
+	ch, hash := planSegSeg(e.plan, e.st, a, b)
 	var start time.Time
-	if e.st != nil {
+	if e.st != nil || ch.Measure() {
 		start = time.Now()
 	}
-	if useHash(a, b) {
-		n, err := e.countHashCtx(ctx, a, b)
-		if err != nil {
-			return 0, e.noteCancel(err)
-		}
-		if e.st != nil {
-			observeSince(e.st, stats.CtrQueriesHash, stats.LatHash, start)
-		}
-		return n, nil
+	var n int
+	var err error
+	if hash {
+		n, err = e.countHashCtx(ctx, a, b)
+	} else {
+		n, err = e.countMergeCtx(ctx, a, b)
 	}
-	n, err := e.countMergeCtx(ctx, a, b)
 	if err != nil {
+		// A cancelled pass did partial work; its latency would skew the model.
 		return 0, e.noteCancel(err)
 	}
 	if e.st != nil {
-		observeSince(e.st, stats.CtrQueriesMerge, stats.LatMerge, start)
+		if hash {
+			observeSince(e.st, stats.CtrQueriesHash, stats.LatHash, start)
+		} else {
+			observeSince(e.st, stats.CtrQueriesMerge, stats.LatMerge, start)
+		}
 	}
+	planRecord(e.plan, ch, start)
 	return n, nil
 }
 
@@ -148,27 +152,29 @@ func (e *Executor) IntersectIntoCtx(ctx context.Context, dst []uint32, a, b *Set
 	if err := ctx.Err(); err != nil {
 		return 0, e.noteCancel(err)
 	}
+	ch, hash := planSegSeg(e.plan, e.st, a, b)
 	var start time.Time
-	if e.st != nil {
+	if e.st != nil || ch.Measure() {
 		start = time.Now()
 	}
-	if useHash(a, b) {
-		n, err := e.intersectHashCtx(ctx, dst, a, b)
-		if err != nil {
-			return 0, e.noteCancel(err)
-		}
-		if e.st != nil {
-			observeSince(e.st, stats.CtrQueriesHash, stats.LatHash, start)
-		}
-		return n, nil
+	var n int
+	var err error
+	if hash {
+		n, err = e.intersectHashCtx(ctx, dst, a, b)
+	} else {
+		n, err = e.intersectMergeCtx(ctx, dst, a, b)
 	}
-	n, err := e.intersectMergeCtx(ctx, dst, a, b)
 	if err != nil {
 		return 0, e.noteCancel(err)
 	}
 	if e.st != nil {
-		observeSince(e.st, stats.CtrQueriesMerge, stats.LatMerge, start)
+		if hash {
+			observeSince(e.st, stats.CtrQueriesHash, stats.LatHash, start)
+		} else {
+			observeSince(e.st, stats.CtrQueriesMerge, stats.LatMerge, start)
+		}
 	}
+	planRecord(e.plan, ch, start)
 	return n, nil
 }
 
@@ -304,7 +310,7 @@ func (e *Executor) CountManyCtx(ctx context.Context, q *Set, candidates []*Set, 
 		if err = ctx.Err(); err != nil {
 			break
 		}
-		out[i], recs, touch = countOneBatch(&e.qcache, &e.denseAnd, e.probeStage, q, c, recs, touch, e.st, e.kernelShard())
+		out[i], recs, touch = countOneBatch(e.plan, &e.qcache, &e.denseAnd, e.probeStage, q, c, recs, touch, e.st, e.kernelShard())
 		done++
 	}
 	e.staged = recs
@@ -323,24 +329,32 @@ func (e *Executor) CountManyCtx(ctx context.Context, q *Set, candidates []*Set, 
 // shared body of the context-aware Many paths. It returns the count, the
 // (possibly grown) staging record buffer, and the accumulated read-ahead
 // touch value.
-func countOneBatch(qc *probeCache, denseAnd *[]uint64, stage []probeRec, q, c *Set, recs []stagedSeg, touch uint32, st, kst *stats.Shard) (int, []stagedSeg, uint32) {
+func countOneBatch(h *planner.Handle, qc *probeCache, denseAnd *[]uint64, stage []probeRec, q, c *Set, recs []stagedSeg, touch uint32, st, kst *stats.Shard) (int, []stagedSeg, uint32) {
 	compatible(q, c)
-	switch {
-	case c.n == 0 || q.n == 0:
+	if c.n == 0 || q.n == 0 {
 		return 0, recs, touch
-	case crossPair(q, c):
-		return crossRun(denseAnd, q, c, nil, nil, st), recs, touch
-	case useHash(q, c):
+	}
+	if crossPair(q, c) {
+		return crossRun(h, denseAnd, q, c, nil, nil, st), recs, touch
+	}
+	ch, hash := planSegSeg(h, st, q, c)
+	pstart := planStart(ch)
+	var n int
+	if hash {
 		small, large := q, c
 		if small.n > large.n {
 			small, large = large, small
 		}
-		n, t := hashProbeBatch(qc, q, small, large, stage, nil, nil, st)
-		return n, recs, touch + t
-	default:
-		n, recs, t := countMergeStaged(q, c, recs, st, kst)
-		return n, recs, touch + t
+		var t uint32
+		n, t = hashProbeBatch(qc, q, small, large, stage, nil, nil, st)
+		touch += t
+	} else {
+		var t uint32
+		n, recs, t = countMergeStaged(q, c, recs, st, kst)
+		touch += t
 	}
+	planRecord(h, ch, pstart)
+	return n, recs, touch
 }
 
 // CountManyParallelCtx is CountManyParallel with cooperative cancellation:
@@ -391,7 +405,7 @@ func (e *Executor) CountManyParallelCtx(ctx context.Context, q *Set, candidates 
 				break
 			}
 			i := sched[k]
-			out[i], recs, touch = countOneBatch(&ws.qcache, &ws.denseAnd, ws.probeStage, q, candidates[i], recs, touch, ws.st, sampleShard(ws.st, seq))
+			out[i], recs, touch = countOneBatch(ws.plan, &ws.qcache, &ws.denseAnd, ws.probeStage, q, candidates[i], recs, touch, ws.st, sampleShard(ws.st, seq))
 			seq++
 		}
 		ws.staged = recs

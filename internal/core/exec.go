@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"fesia/internal/bitmap"
+	"fesia/internal/planner"
 	"fesia/internal/stats"
 )
 
@@ -51,6 +52,12 @@ type Executor struct {
 	st   *stats.Shard
 	sink *stats.Sink
 	qseq uint64
+
+	// Adaptive planner (nil when off — the default). plan is this executor's
+	// single-writer decision handle for its sequential paths; each parallel
+	// worker slot carries its own. See plan.go for the ownership model.
+	plan      *planner.Handle
+	planModel *planner.Model
 }
 
 // execWorker is one worker's private state inside an Executor's parallel
@@ -67,6 +74,7 @@ type execWorker struct {
 	denseAnd   []uint64    // per-worker dense×dense AND scratch (cross-rep)
 	touch      uint32      // per-worker read-ahead sink
 	st         *stats.Shard
+	plan       *planner.Handle
 }
 
 // NewExecutor returns an Executor attached to the shared worker pool. If a
@@ -75,6 +83,7 @@ type execWorker struct {
 func NewExecutor() *Executor {
 	e := &Executor{pool: SharedPool()}
 	e.maybeAttachStats()
+	e.maybeAttachPlanner()
 	return e
 }
 
@@ -83,6 +92,7 @@ func NewExecutor() *Executor {
 func NewExecutorWithPool(p *Pool) *Executor {
 	e := &Executor{pool: p}
 	e.maybeAttachStats()
+	e.maybeAttachPlanner()
 	return e
 }
 
@@ -108,6 +118,9 @@ func (e *Executor) ensureWorkers(n int) {
 		if e.sink != nil {
 			w.st = e.sink.NewShard()
 		}
+		if e.planModel != nil {
+			w.plan = e.planModel.NewHandle()
+		}
 		e.workers = append(e.workers, w)
 	}
 }
@@ -119,12 +132,22 @@ func (e *Executor) ensureWorkers(n int) {
 // ---------------------------------------------------------------------------
 
 // Count returns |a ∩ b| with the adaptively chosen strategy (FESIAmerge vs
-// FESIAhash, Fig. 11 crossover). Zero heap allocations.
+// FESIAhash, Fig. 11 crossover; the live cost model when a planner is
+// attached). Zero heap allocations.
 func (e *Executor) Count(a, b *Set) int {
-	if useHash(a, b) {
-		return e.CountHash(a, b)
+	if crossPair(a, b) {
+		return e.crossCount(a, b)
 	}
-	return e.CountMerge(a, b)
+	ch, hash := planSegSeg(e.plan, e.st, a, b)
+	start := planStart(ch)
+	var n int
+	if hash {
+		n = e.CountHash(a, b)
+	} else {
+		n = e.CountMerge(a, b)
+	}
+	planRecord(e.plan, ch, start)
+	return n
 }
 
 // CountMerge forces the two-step FESIAmerge strategy. Zero heap allocations.
@@ -172,17 +195,27 @@ func (e *Executor) Intersect(dst []uint32, a, b *Set) int {
 	if crossPair(a, b) {
 		return e.crossIntersect(dst, a, b)
 	}
-	if e.st == nil {
-		return Intersect(dst, a, b)
+	ch, hash := planSegSeg(e.plan, e.st, a, b)
+	if e.st == nil && !ch.Measure() {
+		if hash {
+			return IntersectHash(dst, a, b)
+		}
+		return IntersectMerge(dst, a, b)
 	}
 	start := time.Now()
-	if useHash(a, b) {
-		n := IntersectHash(dst, a, b)
-		observeSince(e.st, stats.CtrQueriesHash, stats.LatHash, start)
-		return n
+	var n int
+	if hash {
+		n = IntersectHash(dst, a, b)
+		if e.st != nil {
+			observeSince(e.st, stats.CtrQueriesHash, stats.LatHash, start)
+		}
+	} else {
+		n = IntersectMerge(dst, a, b)
+		if e.st != nil {
+			observeSince(e.st, stats.CtrQueriesMerge, stats.LatMerge, start)
+		}
 	}
-	n := IntersectMerge(dst, a, b)
-	observeSince(e.st, stats.CtrQueriesMerge, stats.LatMerge, start)
+	planRecord(e.plan, ch, start)
 	return n
 }
 
@@ -196,11 +229,18 @@ func (e *Executor) Intersect(dst []uint32, a, b *Set) int {
 // each segment. Allocation-free once warm (the emit closure itself is the
 // caller's).
 func (e *Executor) Visit(a, b *Set, emit Visitor) {
-	if useHash(a, b) {
-		e.VisitHash(a, b, emit)
+	if crossPair(a, b) {
+		e.crossVisit(a, b, emit)
 		return
 	}
-	e.VisitMerge(a, b, emit)
+	ch, hash := planSegSeg(e.plan, e.st, a, b)
+	start := planStart(ch)
+	if hash {
+		e.VisitHash(a, b, emit)
+	} else {
+		e.VisitMerge(a, b, emit)
+	}
+	planRecord(e.plan, ch, start)
 }
 
 // VisitMerge streams the two-step FESIAmerge intersection through emit: each
@@ -679,7 +719,8 @@ var defaultExecutors = sync.Pool{New: func() any { return NewExecutor() }}
 
 func getExecutor() *Executor {
 	e := defaultExecutors.Get().(*Executor)
-	e.maybeAttachStats() // pooled executors may predate EnableStats
+	e.maybeAttachStats()   // pooled executors may predate EnableStats
+	e.maybeAttachPlanner() // ... or EnablePlanner
 	return e
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fesia/internal/kernels"
+	"fesia/internal/planner"
 	"fesia/internal/simd"
 	"fesia/internal/stats"
 )
@@ -101,8 +102,11 @@ func (s *Set) denseHas(x uint32) bool {
 // non-nil they are streamed; with both nil only the count is produced. The
 // match count is returned. denseAnd is the caller's persistent dense-AND
 // scratch (grown in place). st, when non-nil, receives the dispatch-pair
-// counter and, on hash-probing paths, the probe/survivor counters.
-func crossRun(denseAnd *[]uint64, a, b *Set, dst []uint32, emit Visitor, st *stats.Shard) int {
+// counter and, on hash-probing paths, the probe/survivor counters. h, when
+// non-nil, resolves the probe-side decisions of the ×dense pairs through the
+// adaptive planner (the other pairs have a single reasonable driver and stay
+// static).
+func crossRun(h *planner.Handle, denseAnd *[]uint64, a, b *Set, dst []uint32, emit Visitor, st *stats.Shard) int {
 	if st != nil {
 		st.Inc(repPairCounter(a.rep, b.rep))
 	}
@@ -117,12 +121,12 @@ func crossRun(denseAnd *[]uint64, a, b *Set, dst []uint32, emit Visitor, st *sta
 		if b.rep == RepArray {
 			return hashProbeElems(b.reordered, a, dst, emit, st)
 		}
-		return segDenseRun(a, b, dst, emit, st)
+		return segDenseRun(h, a, b, dst, emit, st)
 	case RepArray:
 		if b.rep == RepArray {
 			return arrayArrayRun(a, b, dst, emit)
 		}
-		return arrayDenseRun(a, b, dst, emit)
+		return arrayDenseRun(h, a, b, dst, emit, st)
 	}
 	return denseDenseRun(denseAnd, a, b, dst, emit)
 }
@@ -156,12 +160,28 @@ func arrayArrayRun(a, b *Set, dst []uint32, emit Visitor) int {
 	return kernels.GenericCount(xa, xb)
 }
 
-// arrayDenseRun intersects a sorted array with a dense bitmap, probing from
-// the smaller side: array elements bit-test the dense span, or dense bits
-// binary-search the array.
-func arrayDenseRun(arr, den *Set, dst []uint32, emit Visitor) int {
+// arrayDenseRun intersects a sorted array with a dense bitmap. The probing
+// side comes from the planner when a handle is attached (arm 0: array
+// elements bit-test the dense span; arm 1: dense bits binary-search the
+// array), from the smaller-side rule otherwise.
+func arrayDenseRun(h *planner.Handle, arr, den *Set, dst []uint32, emit Visitor, st *stats.Shard) int {
+	fromArray := arr.n <= den.n
+	var ch planner.Choice
+	if h != nil {
+		ch = h.Decide(planner.DecArrayDense, arr.n, den.n)
+		notePlanDecision(st, planner.DecArrayDense, ch, (ch.Arm == 0) != fromArray)
+		fromArray = ch.Arm == 0
+	}
+	start := planStart(ch)
+	n := arrayDenseArm(arr, den, fromArray, dst, emit)
+	planRecord(h, ch, start)
+	return n
+}
+
+// arrayDenseArm runs one probing side of an array×dense pair.
+func arrayDenseArm(arr, den *Set, fromArray bool, dst []uint32, emit Visitor) int {
 	n := 0
-	if arr.n <= den.n {
+	if fromArray {
 		for _, x := range arr.reordered {
 			if den.denseHas(x) {
 				if dst != nil {
@@ -193,12 +213,28 @@ func arrayDenseRun(arr, den *Set, dst []uint32, emit Visitor) int {
 	return n
 }
 
-// segDenseRun intersects a segmented set with a dense bitmap, probing from
-// the smaller side: dense bits hash-probe the segmented set, or the
-// segmented set's reordered elements bit-test the dense span.
-func segDenseRun(seg, den *Set, dst []uint32, emit Visitor, st *stats.Shard) int {
+// segDenseRun intersects a segmented set with a dense bitmap. The probing
+// side comes from the planner when a handle is attached (arm 0: dense bits
+// hash-probe the segmented set; arm 1: the segmented set's reordered
+// elements bit-test the dense span), from the smaller-side rule otherwise.
+func segDenseRun(h *planner.Handle, seg, den *Set, dst []uint32, emit Visitor, st *stats.Shard) int {
+	fromDense := den.n < seg.n
+	var ch planner.Choice
+	if h != nil {
+		ch = h.Decide(planner.DecSegDense, den.n, seg.n)
+		notePlanDecision(st, planner.DecSegDense, ch, (ch.Arm == 0) != fromDense)
+		fromDense = ch.Arm == 0
+	}
+	start := planStart(ch)
+	n := segDenseArm(seg, den, fromDense, dst, emit, st)
+	planRecord(h, ch, start)
+	return n
+}
+
+// segDenseArm runs one probing side of a seg×dense pair.
+func segDenseArm(seg, den *Set, fromDense bool, dst []uint32, emit Visitor, st *stats.Shard) int {
 	n := 0
-	if den.n < seg.n {
+	if fromDense {
 		probes := 0
 		for wi, w := range den.dense {
 			for w != 0 {
@@ -296,10 +332,10 @@ func denseOverlap(a, b *Set) (lo uint32, wa, wb, nw int) {
 func (e *Executor) crossCount(a, b *Set) int {
 	compatible(a, b)
 	if e.st == nil {
-		return crossRun(&e.denseAnd, a, b, nil, nil, nil)
+		return crossRun(e.plan, &e.denseAnd, a, b, nil, nil, nil)
 	}
 	start := time.Now()
-	n := crossRun(&e.denseAnd, a, b, nil, nil, e.st)
+	n := crossRun(e.plan, &e.denseAnd, a, b, nil, nil, e.st)
 	observeSince(e.st, stats.CtrQueriesCross, stats.LatCross, start)
 	return n
 }
@@ -308,10 +344,10 @@ func (e *Executor) crossCount(a, b *Set) int {
 func (e *Executor) crossIntersect(dst []uint32, a, b *Set) int {
 	compatible(a, b)
 	if e.st == nil {
-		return crossRun(&e.denseAnd, a, b, dst, nil, nil)
+		return crossRun(e.plan, &e.denseAnd, a, b, dst, nil, nil)
 	}
 	start := time.Now()
-	n := crossRun(&e.denseAnd, a, b, dst, nil, e.st)
+	n := crossRun(e.plan, &e.denseAnd, a, b, dst, nil, e.st)
 	observeSince(e.st, stats.CtrQueriesCross, stats.LatCross, start)
 	return n
 }
@@ -320,11 +356,11 @@ func (e *Executor) crossIntersect(dst []uint32, a, b *Set) int {
 func (e *Executor) crossVisit(a, b *Set, emit Visitor) {
 	compatible(a, b)
 	if e.st == nil {
-		crossRun(&e.denseAnd, a, b, nil, emit, nil)
+		crossRun(e.plan, &e.denseAnd, a, b, nil, emit, nil)
 		return
 	}
 	start := time.Now()
-	crossRun(&e.denseAnd, a, b, nil, emit, e.st)
+	crossRun(e.plan, &e.denseAnd, a, b, nil, emit, e.st)
 	observeSince(e.st, stats.CtrQueriesCross, stats.LatCross, start)
 }
 
@@ -382,14 +418,26 @@ func (s *Set) visitAll(emit Visitor) {
 	}
 }
 
-// kwayAnyChain is the k-way core for mixed-representation inputs: the
-// smallest set is materialized into the executor's chain buffer and then
-// compacted in place against every other set's membership test. O(n_min · k)
-// with O(1) or O(log n) probes — the k-way counterpart of the pair matrix's
-// probe-smaller-side rule. sink receives the final chained list once.
-func (e *Executor) kwayAnyChain(sets []*Set, sink func(cur []uint32)) {
-	for _, s := range sets[1:] {
-		compatible(sets[0], s)
+// kwaySeed picks the set a mixed-representation k-way chain materializes
+// first. With a planner handle the pick minimizes the modelled chain cost —
+// n_seed × Σ fitted per-probe cost of every other set's representation — so
+// a slightly larger seed wins when it avoids expensive probe targets; the
+// equal cold-start priors reduce this to the static smallest-set rule
+// (first-minimum tie break included).
+func (e *Executor) kwaySeed(sets []*Set) int {
+	if h := e.plan; h != nil {
+		var total float64
+		for _, s := range sets {
+			total += h.ProbeCost(int(s.rep))
+		}
+		best, bestEst := 0, 0.0
+		for i, s := range sets {
+			est := float64(s.n) * (total - h.ProbeCost(int(s.rep)))
+			if i == 0 || est < bestEst {
+				best, bestEst = i, est
+			}
+		}
+		return best
 	}
 	sm := 0
 	for i, s := range sets {
@@ -397,12 +445,34 @@ func (e *Executor) kwayAnyChain(sets []*Set, sink func(cur []uint32)) {
 			sm = i
 		}
 	}
+	return sm
+}
+
+// kwayAnyChain is the k-way core for mixed-representation inputs: the seed
+// set (kwaySeed; smallest by default) is materialized into the executor's
+// chain buffer and then compacted in place against every other set's
+// membership test. O(n_seed · k) with O(1) or O(log n) probes — the k-way
+// counterpart of the pair matrix's probe-smaller-side rule. sink receives
+// the final chained list once. With a learned planner attached, sampled
+// queries time each compaction pass to keep the per-representation probe
+// costs fresh.
+func (e *Executor) kwayAnyChain(sets []*Set, sink func(cur []uint32)) {
+	for _, s := range sets[1:] {
+		compatible(sets[0], s)
+	}
+	sm := e.kwaySeed(sets)
 	e.chain1 = growU32(e.chain1, max(sets[sm].n, 1))
 	cur := e.chain1[:sets[sm].n]
 	cur = cur[:sets[sm].materialize(cur)]
+	ksample := e.plan != nil && e.plan.SampleKWay()
 	for i, s := range sets {
 		if i == sm || len(cur) == 0 {
 			continue
+		}
+		probes := len(cur)
+		var t0 time.Time
+		if ksample {
+			t0 = time.Now()
 		}
 		k := 0
 		for _, v := range cur {
@@ -412,6 +482,9 @@ func (e *Executor) kwayAnyChain(sets []*Set, sink func(cur []uint32)) {
 			}
 		}
 		cur = cur[:k]
+		if ksample {
+			e.plan.RecordProbe(int(s.rep), time.Since(t0), probes)
+		}
 	}
 	if len(cur) > 0 {
 		sink(cur)
@@ -425,12 +498,7 @@ func (e *Executor) kwayAnyChainCtx(ctx context.Context, sets []*Set, sink func(c
 	for _, s := range sets[1:] {
 		compatible(sets[0], s)
 	}
-	sm := 0
-	for i, s := range sets {
-		if s.n < sets[sm].n {
-			sm = i
-		}
-	}
+	sm := e.kwaySeed(sets)
 	e.chain1 = growU32(e.chain1, max(sets[sm].n, 1))
 	cur := e.chain1[:sets[sm].n]
 	cur = cur[:sets[sm].materialize(cur)]
@@ -494,18 +562,41 @@ func (e *Executor) crossRunCtx(ctx context.Context, a, b *Set, dst []uint32) (n 
 		n, err = 0, nil
 	} else if a.rep == RepDense { // dense×dense
 		n, err = e.denseDenseCtx(ctx, a, b, dst)
-	} else if b.rep == RepDense && b.n < a.n {
-		// seg×dense / array×dense with the dense side smaller: walk the
-		// dense words in blocks, probing a.
-		n, err = e.denseProbeCtx(ctx, b, a, dst)
+	} else if b.rep == RepDense {
+		// seg×dense / array×dense: pick the probing side — walk the dense
+		// words probing a, or probe a's sorted elements against the dense
+		// span. Planner decision when a handle is attached, the smaller-side
+		// rule otherwise.
+		fromDense := b.n < a.n
+		var ch planner.Choice
+		if h := e.plan; h != nil {
+			if a.rep == RepSegmented {
+				ch = h.Decide(planner.DecSegDense, b.n, a.n)
+				notePlanDecision(st, planner.DecSegDense, ch, (ch.Arm == 0) != fromDense)
+				fromDense = ch.Arm == 0
+			} else {
+				ch = h.Decide(planner.DecArrayDense, a.n, b.n)
+				notePlanDecision(st, planner.DecArrayDense, ch, (ch.Arm == 1) != fromDense)
+				fromDense = ch.Arm == 1
+			}
+		}
+		pstart := planStart(ch)
+		if fromDense {
+			n, err = e.denseProbeCtx(ctx, b, a, dst)
+		} else {
+			n, err = e.elemsProbeCtx(ctx, a.reordered, b, dst)
+		}
+		if err == nil {
+			// Cancelled passes are partial work; only completed ones feed
+			// the cost model.
+			planRecord(e.plan, ch, pstart)
+		}
 	} else {
-		// The remaining pairs probe one side's sorted element slice against
-		// the other's membership test (hash probe into segmented, binary
-		// search into arrays, bit test into dense). Probe from the smaller
-		// side when both sides carry an element slice; a dense other side
-		// forces the element-carrying side to probe.
+		// seg×array probes one side's sorted element slice against the
+		// other's membership test (hash probe into segmented, binary search
+		// into arrays), from the smaller side.
 		probe, other := a, b
-		if b.rep != RepDense && b.n < a.n {
+		if b.n < a.n {
 			probe, other = b, a
 		}
 		n, err = e.elemsProbeCtx(ctx, probe.reordered, other, dst)

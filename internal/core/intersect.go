@@ -448,7 +448,7 @@ func (e *Executor) CountMergeBreakdown(a, b *Set) Breakdown {
 	compatible(a, b)
 	if crossPair(a, b) {
 		start := time.Now()
-		n := crossRun(&e.denseAnd, a, b, nil, nil, e.st)
+		n := crossRun(e.plan, &e.denseAnd, a, b, nil, nil, e.st)
 		return Breakdown{SegmentTime: time.Since(start), Count: n}
 	}
 	x, y := ordered(a, b)
@@ -503,7 +503,7 @@ func (e *Executor) CountHashBreakdown(a, b *Set) HashBreakdown {
 	compatible(a, b)
 	if crossPair(a, b) {
 		start := time.Now()
-		n := crossRun(&e.denseAnd, a, b, nil, nil, e.st)
+		n := crossRun(e.plan, &e.denseAnd, a, b, nil, nil, e.st)
 		return HashBreakdown{
 			ScanTime: time.Since(start),
 			Probes:   min(a.n, b.n),

@@ -1,0 +1,251 @@
+package planner
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPriorMatchesStatic sweeps work-size pairs across every decision kind
+// and checks that a cold model (prior costs only) reproduces the static size
+// heuristics bit for bit, including the boundary tie-breaks: merge at
+// small == large/4, seg-probes-dense at den == seg, array-probes-dense at
+// arr == den.
+func TestPriorMatchesStatic(t *testing.T) {
+	m := New(WithMode(ModePrior))
+	h := m.NewHandle()
+	sizes := []int{1, 3, 16, 63, 64, 255, 1024, 4096, 65536, 1 << 20, 1 << 26, 1 << 28}
+	for _, a := range sizes {
+		for _, b := range sizes {
+			// seg×seg: arm 1 (hash) iff the static skew rule fires.
+			small, large := a, b
+			if small > large {
+				small, large = large, small
+			}
+			wantHash := float64(small) < 0.25*float64(large)
+			if got := h.Decide(DecSegSeg, large, small).Arm == 1; got != wantHash {
+				t.Errorf("DecSegSeg(%d, %d): hash=%v, static wants %v", large, small, got, wantHash)
+			}
+			// seg×dense: arm 0 (probe from dense) iff den.n < seg.n.
+			den, seg := a, b
+			wantFromDense := den < seg
+			if got := h.Decide(DecSegDense, den, seg).Arm == 0; got != wantFromDense {
+				t.Errorf("DecSegDense(den=%d, seg=%d): fromDense=%v, static wants %v", den, seg, got, wantFromDense)
+			}
+			// array×dense: arm 0 (probe from array) iff arr.n <= den.n.
+			arr, dn := a, b
+			wantFromArray := arr <= dn
+			if got := h.Decide(DecArrayDense, arr, dn).Arm == 0; got != wantFromArray {
+				t.Errorf("DecArrayDense(arr=%d, den=%d): fromArray=%v, static wants %v", arr, dn, got, wantFromArray)
+			}
+		}
+	}
+	// Boundary cases called out explicitly: exact quarter ratio stays merge.
+	for _, large := range []int{4, 400, 1 << 20} {
+		if h.Decide(DecSegSeg, large, large/4).Arm != 0 {
+			t.Errorf("DecSegSeg(%d, %d): boundary must stay merge", large, large/4)
+		}
+	}
+	if h.Decide(DecSegDense, 512, 512).Arm != 1 {
+		t.Error("DecSegDense tie must probe from the segmented side (arm 1)")
+	}
+	if h.Decide(DecArrayDense, 512, 512).Arm != 0 {
+		t.Error("DecArrayDense tie must probe from the array side (arm 0)")
+	}
+}
+
+// TestPriorModeNeverMeasures: prior handles carry no shard and must never ask
+// for measurement or explore.
+func TestPriorModeNeverMeasures(t *testing.T) {
+	h := New(WithMode(ModePrior), WithSampleEvery(1), WithExploreEvery(1)).NewHandle()
+	for i := 0; i < 1000; i++ {
+		ch := h.Decide(DecSegSeg, 1000, 100)
+		if ch.Measure() || ch.Explored {
+			t.Fatal("prior-mode decision flagged for measurement or exploration")
+		}
+	}
+}
+
+// TestLearnedFlipsDecision: feeding the model measurements that contradict
+// the prior must flip the preferred arm after a re-fit.
+func TestLearnedFlipsDecision(t *testing.T) {
+	m := New(WithMode(ModeLearned), WithSampleEvery(1), WithExploreEvery(0))
+	h := m.NewHandle()
+	// Priors pick merge for (large=1000, small=500): est0 = 1000 < est1 = 2000.
+	if h.Decide(DecSegSeg, 1000, 500).Arm != 0 {
+		t.Fatal("priors should pick merge at ratio 1/2")
+	}
+	// Measure merge as catastrophically slow (100ns per element) for as long
+	// as the model keeps picking it.
+	for i := 0; i < 64; i++ {
+		ch := h.Decide(DecSegSeg, 1000, 500)
+		if ch.Arm == 1 {
+			break // flipped
+		}
+		if !ch.Measure() {
+			t.Fatal("sampleEvery=1 must measure every decision")
+		}
+		h.Record(ch, 100_000*time.Nanosecond)
+		m.Refit()
+	}
+	if h.Decide(DecSegSeg, 1000, 500).Arm != 1 {
+		t.Fatal("measured merge cost 100ns/elem should flip the decision to hash")
+	}
+	// The same pair in a different bucket is unaffected.
+	if h.Decide(DecSegSeg, 1<<20, 1<<19).Arm != 0 {
+		t.Error("a different size bucket must keep its prior")
+	}
+}
+
+// TestExplorationRate: explored decisions arrive at roughly 1/exploreEvery.
+func TestExplorationRate(t *testing.T) {
+	h := New(WithMode(ModeLearned), WithExploreEvery(8), WithSampleEvery(1<<30)).NewHandle()
+	const n = 64_000
+	explored := 0
+	for i := 0; i < n; i++ {
+		if h.Decide(DecSegSeg, 1000, 999).Explored {
+			explored++
+		}
+	}
+	want := n / 8
+	if explored < want*7/10 || explored > want*13/10 {
+		t.Fatalf("explored %d of %d decisions, want about %d", explored, n, want)
+	}
+}
+
+// TestRefitConsumesDeltas: a re-fit folds only samples recorded since the
+// previous one, so repeating identical observations converges the EWMA toward
+// the observed cost rather than re-applying stale history.
+func TestRefitConsumesDeltas(t *testing.T) {
+	m := New(WithMode(ModeLearned), WithSampleEvery(1), WithExploreEvery(0))
+	h := m.NewHandle()
+	cost := func() float64 {
+		for _, c := range m.Snapshot().Cells {
+			if c.Arm == "merge" {
+				return c.CostNs
+			}
+		}
+		return -1
+	}
+	var last float64 = 1.0 // the seg×seg merge prior
+	for round := 0; round < 6; round++ {
+		ch := h.Decide(DecSegSeg, 1000, 10_000_000) // merge preferred
+		h.Record(ch, 10_000*time.Nanosecond)        // 10ns per element
+		m.Refit()
+		got := cost()
+		if got <= last {
+			t.Fatalf("round %d: cost %.3f did not move toward the 10ns observation (last %.3f)", round, got, last)
+		}
+		last = got
+	}
+	if last > 10.0 {
+		t.Fatalf("EWMA overshot the observation: %.3f", last)
+	}
+	// An idle re-fit (no new samples) must not move the estimate.
+	m.Refit()
+	if got := cost(); got != last {
+		t.Fatalf("idle re-fit moved the cost: %.3f -> %.3f", last, got)
+	}
+}
+
+// TestKWayProbePlane: recorded compaction passes move the per-rep probe cost
+// and surface in the snapshot.
+func TestKWayProbePlane(t *testing.T) {
+	m := New(WithMode(ModeLearned), WithSampleEvery(1))
+	h := m.NewHandle()
+	if got := h.ProbeCost(1); got != 4.0 {
+		t.Fatalf("prior probe cost = %v, want 4.0", got)
+	}
+	for i := 0; i < 32; i++ {
+		h.RecordProbe(1, 16_000*time.Nanosecond, 1000) // 16ns per probe
+		m.Refit()
+	}
+	if got := h.ProbeCost(1); got < 8.0 {
+		t.Fatalf("probe cost %v did not move toward the 16ns observation", got)
+	}
+	if got := h.ProbeCost(0); got != 4.0 {
+		t.Fatalf("untouched rep moved: %v", got)
+	}
+	snap := m.Snapshot()
+	if len(snap.KProbe) != 1 || snap.KProbe[0].Rep != "array" {
+		t.Fatalf("snapshot KProbe = %+v, want one array row", snap.KProbe)
+	}
+	// Out-of-range reps fall back to the prior and record nothing.
+	if got := h.ProbeCost(99); got != 4.0 {
+		t.Fatalf("out-of-range probe cost = %v", got)
+	}
+	h.RecordProbe(99, time.Millisecond, 10)
+}
+
+// TestSnapshotCells: the snapshot lists exactly the measured cells with their
+// decision and arm names.
+func TestSnapshotCells(t *testing.T) {
+	m := New(WithMode(ModeLearned), WithSampleEvery(1), WithExploreEvery(0))
+	h := m.NewHandle()
+	ch := h.Decide(DecArrayDense, 100, 1000) // arm 0 (fromArray) preferred
+	h.Record(ch, time.Microsecond)
+	snap := m.Snapshot()
+	if snap.Mode != "learned" || snap.SampleEvery != 1 {
+		t.Fatalf("snapshot config: %+v", snap)
+	}
+	if len(snap.Cells) != 1 {
+		t.Fatalf("snapshot has %d cells, want 1", len(snap.Cells))
+	}
+	c := snap.Cells[0]
+	if c.Decision != "array_dense" || c.Arm != "probe_from_array" || c.Samples != 1 {
+		t.Fatalf("cell = %+v", c)
+	}
+}
+
+// TestActivate: the process-wide registry treats ModeOff models as "no
+// planner".
+func TestActivate(t *testing.T) {
+	defer Activate(nil)
+	if ActiveMode() != ModeOff {
+		t.Fatal("planner active at test start")
+	}
+	Activate(New(WithMode(ModeOff)))
+	if Active() != nil {
+		t.Fatal("ModeOff model must deactivate")
+	}
+	m := New(WithMode(ModeLearned))
+	Activate(m)
+	if Active() != m || ActiveMode() != ModeLearned {
+		t.Fatal("learned model not active")
+	}
+	Activate(nil)
+	if Active() != nil || ActiveMode().String() != "off" {
+		t.Fatal("nil must deactivate")
+	}
+}
+
+// TestConcurrentRecordRefit hammers one model from several handles while
+// re-fits and snapshots run concurrently — the shard/refit protocol must be
+// race-clean (run under -race).
+func TestConcurrentRecordRefit(t *testing.T) {
+	m := New(WithMode(ModeLearned), WithSampleEvery(1), WithExploreEvery(4))
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			h := m.NewHandle()
+			for i := 0; i < 4000; i++ {
+				ch := h.Decide(DecSegSeg, 1000+i, 100+i)
+				if ch.Measure() {
+					h.Record(ch, time.Duration(i)*time.Nanosecond)
+				}
+				h.RecordProbe(i%3, time.Microsecond, 100)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		m.Refit()
+		_ = m.Snapshot()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	m.Refit()
+	if m.Snapshot().Refits == 0 {
+		t.Fatal("no re-fit ran")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"strconv"
 
+	"fesia/internal/planner"
 	"fesia/internal/simd"
 )
 
@@ -17,35 +18,43 @@ type promSeries struct {
 }
 
 var promCounters = [NumCounters]promSeries{
-	CtrQueriesMerge:        {"fesia_queries_total", `{strategy="merge"}`, "Queries answered, by intersection strategy."},
-	CtrQueriesHash:         {"fesia_queries_total", `{strategy="hash"}`, ""},
-	CtrQueriesKWay:         {"fesia_queries_total", `{strategy="kway"}`, ""},
-	CtrQueriesBatch:        {"fesia_queries_total", `{strategy="batch"}`, ""},
-	CtrQueriesCross:        {"fesia_queries_total", `{strategy="cross"}`, ""},
-	CtrBuildSegmented:      {"fesia_sets_built_total", `{rep="segmented"}`, "Sets built, by physical representation."},
-	CtrBuildArray:          {"fesia_sets_built_total", `{rep="array"}`, ""},
-	CtrBuildDense:          {"fesia_sets_built_total", `{rep="dense"}`, ""},
-	CtrDispSegSeg:          {"fesia_rep_dispatch_total", `{pair="seg_seg"}`, "Pair queries routed through the cross-representation dispatch matrix, by unordered representation pair."},
-	CtrDispSegArray:        {"fesia_rep_dispatch_total", `{pair="seg_array"}`, ""},
-	CtrDispSegDense:        {"fesia_rep_dispatch_total", `{pair="seg_dense"}`, ""},
-	CtrDispArrayArray:      {"fesia_rep_dispatch_total", `{pair="array_array"}`, ""},
-	CtrDispArrayDense:      {"fesia_rep_dispatch_total", `{pair="array_dense"}`, ""},
-	CtrDispDenseDense:      {"fesia_rep_dispatch_total", `{pair="dense_dense"}`, ""},
-	CtrBatchCandidates:     {"fesia_batch_candidates_total", "", "Candidates processed by one-vs-many batch queries."},
-	CtrSegmentsScanned:     {"fesia_segments_scanned_total", "", "Segments examined by the bitmap word-AND pass (merge strategy)."},
-	CtrSegPairs:            {"fesia_segment_pairs_total", "", "Segment pairs surviving the bitmap filter and dispatched to kernels."},
-	CtrHashProbes:          {"fesia_hash_probes_total", "", "Elements probed by the hash strategy."},
-	CtrHashSurvivors:       {"fesia_hash_probe_survivors_total", "", "Hash probes whose bitmap bit was set (entered the segment scan)."},
-	CtrCancellations:       {"fesia_query_cancellations_total", "", "Queries that returned ctx.Err() at a cooperative checkpoint."},
-	CtrPoolDo:              {"fesia_pool_do_total", "", "Parallel Do calls entered on the worker pool."},
-	CtrPoolDoDone:          {"fesia_pool_do_done_total", "", "Parallel Do calls completed on the worker pool."},
-	CtrPoolPartsPooled:     {"fesia_pool_parts_total", `{mode="pooled"}`, "Task parts, by whether a parked worker took them or they ran inline."},
-	CtrPoolPartsInline:     {"fesia_pool_parts_total", `{mode="inline"}`, ""},
-	CtrPoolPanics:          {"fesia_pool_task_panics_total", "", "Panics contained by the worker pool."},
-	CtrSnapshotWrites:      {"fesia_snapshot_ops_total", `{op="write",outcome="ok"}`, "Snapshot codec operations, by direction and outcome."},
-	CtrSnapshotWriteErrors: {"fesia_snapshot_ops_total", `{op="write",outcome="error"}`, ""},
-	CtrSnapshotReads:       {"fesia_snapshot_ops_total", `{op="read",outcome="ok"}`, ""},
-	CtrSnapshotReadErrors:  {"fesia_snapshot_ops_total", `{op="read",outcome="error"}`, ""},
+	CtrQueriesMerge:            {"fesia_queries_total", `{strategy="merge"}`, "Queries answered, by intersection strategy."},
+	CtrQueriesHash:             {"fesia_queries_total", `{strategy="hash"}`, ""},
+	CtrQueriesKWay:             {"fesia_queries_total", `{strategy="kway"}`, ""},
+	CtrQueriesBatch:            {"fesia_queries_total", `{strategy="batch"}`, ""},
+	CtrQueriesCross:            {"fesia_queries_total", `{strategy="cross"}`, ""},
+	CtrBuildSegmented:          {"fesia_sets_built_total", `{rep="segmented"}`, "Sets built, by physical representation."},
+	CtrBuildArray:              {"fesia_sets_built_total", `{rep="array"}`, ""},
+	CtrBuildDense:              {"fesia_sets_built_total", `{rep="dense"}`, ""},
+	CtrDispSegSeg:              {"fesia_rep_dispatch_total", `{pair="seg_seg"}`, "Pair queries routed through the cross-representation dispatch matrix, by unordered representation pair."},
+	CtrDispSegArray:            {"fesia_rep_dispatch_total", `{pair="seg_array"}`, ""},
+	CtrDispSegDense:            {"fesia_rep_dispatch_total", `{pair="seg_dense"}`, ""},
+	CtrDispArrayArray:          {"fesia_rep_dispatch_total", `{pair="array_array"}`, ""},
+	CtrDispArrayDense:          {"fesia_rep_dispatch_total", `{pair="array_dense"}`, ""},
+	CtrDispDenseDense:          {"fesia_rep_dispatch_total", `{pair="dense_dense"}`, ""},
+	CtrBatchCandidates:         {"fesia_batch_candidates_total", "", "Candidates processed by one-vs-many batch queries."},
+	CtrSegmentsScanned:         {"fesia_segments_scanned_total", "", "Segments examined by the bitmap word-AND pass (merge strategy)."},
+	CtrSegPairs:                {"fesia_segment_pairs_total", "", "Segment pairs surviving the bitmap filter and dispatched to kernels."},
+	CtrHashProbes:              {"fesia_hash_probes_total", "", "Elements probed by the hash strategy."},
+	CtrHashSurvivors:           {"fesia_hash_probe_survivors_total", "", "Hash probes whose bitmap bit was set (entered the segment scan)."},
+	CtrPlanSegSegMerge:         {"fesia_planner_decisions_total", `{decision="seg_seg",arm="merge"}`, "Adaptive-planner dispatch decisions, by decision kind and chosen arm."},
+	CtrPlanSegSegHash:          {"fesia_planner_decisions_total", `{decision="seg_seg",arm="hash"}`, ""},
+	CtrPlanSegDenseFromDense:   {"fesia_planner_decisions_total", `{decision="seg_dense",arm="probe_from_dense"}`, ""},
+	CtrPlanSegDenseFromSeg:     {"fesia_planner_decisions_total", `{decision="seg_dense",arm="probe_from_seg"}`, ""},
+	CtrPlanArrayDenseFromArray: {"fesia_planner_decisions_total", `{decision="array_dense",arm="probe_from_array"}`, ""},
+	CtrPlanArrayDenseFromDense: {"fesia_planner_decisions_total", `{decision="array_dense",arm="probe_from_dense"}`, ""},
+	CtrPlanExplored:            {"fesia_planner_explored_total", "", "Planner decisions that deliberately took the non-preferred arm (epsilon exploration)."},
+	CtrPlanOverrides:           {"fesia_planner_overrides_total", "", "Planner decisions that disagreed with the static heuristic."},
+	CtrCancellations:           {"fesia_query_cancellations_total", "", "Queries that returned ctx.Err() at a cooperative checkpoint."},
+	CtrPoolDo:                  {"fesia_pool_do_total", "", "Parallel Do calls entered on the worker pool."},
+	CtrPoolDoDone:              {"fesia_pool_do_done_total", "", "Parallel Do calls completed on the worker pool."},
+	CtrPoolPartsPooled:         {"fesia_pool_parts_total", `{mode="pooled"}`, "Task parts, by whether a parked worker took them or they ran inline."},
+	CtrPoolPartsInline:         {"fesia_pool_parts_total", `{mode="inline"}`, ""},
+	CtrPoolPanics:              {"fesia_pool_task_panics_total", "", "Panics contained by the worker pool."},
+	CtrSnapshotWrites:          {"fesia_snapshot_ops_total", `{op="write",outcome="ok"}`, "Snapshot codec operations, by direction and outcome."},
+	CtrSnapshotWriteErrors:     {"fesia_snapshot_ops_total", `{op="write",outcome="error"}`, ""},
+	CtrSnapshotReads:           {"fesia_snapshot_ops_total", `{op="read",outcome="ok"}`, ""},
+	CtrSnapshotReadErrors:      {"fesia_snapshot_ops_total", `{op="read",outcome="error"}`, ""},
 }
 
 // WritePrometheus renders a snapshot in the Prometheus text exposition format
@@ -59,6 +68,13 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 	// it against the query counters to attribute performance shifts to the
 	// backend in play.
 	if _, err := fmt.Fprintf(w, "# HELP fesia_build_info Constant 1, labelled with the active intersection backend.\n# TYPE fesia_build_info gauge\nfesia_build_info{backend=%q} 1\n", simd.Backend()); err != nil {
+		return err
+	}
+
+	// Planner-info gauge, the planner's counterpart of fesia_build_info: a
+	// constant 1 labelled with the process-wide adaptive-planner mode, so
+	// load-test runs are attributable to the dispatch policy in play.
+	if _, err := fmt.Fprintf(w, "# HELP fesia_planner_info Constant 1, labelled with the active adaptive-planner mode.\n# TYPE fesia_planner_info gauge\nfesia_planner_info{mode=%q} 1\n", planner.ActiveMode()); err != nil {
 		return err
 	}
 
@@ -125,6 +141,31 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 	for _, kb := range s.Kernels {
 		if _, err := fmt.Fprintf(w, "%s{size_a=\"%d\",size_b=\"%d\"} %d\n", kFamily, kb.SizeA, kb.SizeB, kb.Count); err != nil {
 			return err
+		}
+	}
+
+	// Adaptive-planner cost table (sparse: only cells with recorded samples),
+	// plus the re-fit counter. Emitted only while a planner model is active.
+	if m := planner.Active(); m != nil {
+		ps := m.Snapshot()
+		if _, err := fmt.Fprintf(w, "# HELP fesia_planner_refits_total Completed online re-fit passes of the planner cost model.\n# TYPE fesia_planner_refits_total counter\nfesia_planner_refits_total %d\n", ps.Refits); err != nil {
+			return err
+		}
+		const costFamily = "fesia_planner_cost_ns_per_unit"
+		if _, err := fmt.Fprintf(w, "# HELP %s Fitted per-unit strategy cost (ns per element merged/probed), by decision cell and arm; only cells with recorded samples.\n# TYPE %s gauge\n", costFamily, costFamily); err != nil {
+			return err
+		}
+		for _, c := range ps.Cells {
+			if _, err := fmt.Fprintf(w, "%s{decision=%q,arm=%q,bucket_a=\"%d\",bucket_b=\"%d\"} %g\n",
+				costFamily, c.Decision, c.Arm, c.BucketA, c.BucketB, c.CostNs); err != nil {
+				return err
+			}
+		}
+		for _, kp := range ps.KProbe {
+			if _, err := fmt.Fprintf(w, "%s{decision=\"kway_probe\",arm=%q,bucket_a=\"0\",bucket_b=\"0\"} %g\n",
+				costFamily, kp.Rep, kp.CostNs); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

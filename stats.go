@@ -38,11 +38,13 @@ const (
 	LatHash  = stats.LatHash
 	LatKWay  = stats.LatKWay
 	LatBatch = stats.LatBatch
+	LatCross = stats.LatCross
 
 	CtrQueriesMerge    = stats.CtrQueriesMerge
 	CtrQueriesHash     = stats.CtrQueriesHash
 	CtrQueriesKWay     = stats.CtrQueriesKWay
 	CtrQueriesBatch    = stats.CtrQueriesBatch
+	CtrQueriesCross    = stats.CtrQueriesCross
 	CtrBatchCandidates = stats.CtrBatchCandidates
 	CtrSegmentsScanned = stats.CtrSegmentsScanned
 	CtrSegPairs        = stats.CtrSegPairs
@@ -56,6 +58,18 @@ const (
 	CtrPoolPanics      = stats.CtrPoolPanics
 	CtrSnapshotWrites  = stats.CtrSnapshotWrites
 	CtrSnapshotReads   = stats.CtrSnapshotReads
+
+	// Planner decision counters: one per (dispatch point, chosen strategy),
+	// plus the exploration tally and the count of decisions where the learned
+	// model disagreed with the static heuristic.
+	CtrPlanSegSegMerge         = stats.CtrPlanSegSegMerge
+	CtrPlanSegSegHash          = stats.CtrPlanSegSegHash
+	CtrPlanSegDenseFromDense   = stats.CtrPlanSegDenseFromDense
+	CtrPlanSegDenseFromSeg     = stats.CtrPlanSegDenseFromSeg
+	CtrPlanArrayDenseFromArray = stats.CtrPlanArrayDenseFromArray
+	CtrPlanArrayDenseFromDense = stats.CtrPlanArrayDenseFromDense
+	CtrPlanExplored            = stats.CtrPlanExplored
+	CtrPlanOverrides           = stats.CtrPlanOverrides
 )
 
 // Backend reports which intersection backend this process dispatches to:
