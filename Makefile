@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover check lint bench benchcheck batchbench planbench ablation fuzz fuzzsmoke kernels experiments examples clean
+.PHONY: all build test race cover check lint bench benchcheck batchbench planbench servebench ablation fuzz fuzzsmoke kernels experiments examples clean
 
 all: build test
 
@@ -68,7 +68,12 @@ bench:
 #   5. the adaptive planner vs the static heuristics — learned mode must beat
 #      static by >= 1.10x on the mispriced crossover corpus and stay within
 #      noise of it on the uniform corpus (built-in gates in -planjson,
-#      BENCH_planner.json regenerated).
+#      BENCH_planner.json regenerated);
+#   6. the serving-tier saturation ramp — essentially no overload outcomes
+#      below saturation, push-back engaged with bounded admitted p99 (not
+#      collapse) under 4x-concurrency overload, and hot swaps under that
+#      storm with zero failed in-flight queries (built-in gates in
+#      -servejson, BENCH_serve.json regenerated).
 # Regenerate the micro baseline after intentional performance changes with:
 #   $(GO) run ./cmd/fesiabench -json -quick && cp BENCH_intersect.json BENCH_baseline.json
 benchcheck:
@@ -77,6 +82,7 @@ benchcheck:
 	$(GO) run ./cmd/fesiabench -batchjson -quick
 	$(GO) run ./cmd/fesiabench -hybridjson -quick
 	$(GO) run ./cmd/fesiabench -planjson -quick
+	$(GO) run ./cmd/fesiabench -servejson -quick
 
 # Adaptive planner vs static heuristics at full scale (writes BENCH_planner.json).
 planbench:
@@ -89,6 +95,10 @@ batchbench:
 # SIMD backend vs pure-Go pairing (writes BENCH_simd.json).
 simdbench:
 	$(GO) run ./cmd/fesiabench -simdjson
+
+# Serving-tier saturation ramp at full scale (writes BENCH_serve.json).
+servebench:
+	$(GO) run ./cmd/fesiabench -servejson
 
 ablation:
 	$(GO) test -bench=Ablation -benchmem .

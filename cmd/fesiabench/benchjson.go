@@ -99,6 +99,11 @@ func runJSONBench(path string, quick bool) ([]benchResult, error) {
 
 // writeResults marshals benchmark rows to a JSON artifact.
 func writeResults(path string, results []benchResult) error {
+	return writeResultsAny(path, results)
+}
+
+// writeResultsAny marshals any report shape to a JSON artifact.
+func writeResultsAny(path string, results any) error {
 	out, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err

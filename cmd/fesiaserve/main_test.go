@@ -1,7 +1,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -11,30 +13,32 @@ import (
 	"testing"
 	"time"
 
-	"fesia/internal/core"
+	"fesia/internal/serve"
 )
 
 func testServer(t *testing.T) *server {
 	t.Helper()
 	s, err := newServer(serverConfig{
 		docs: 3_000, items: 6_000, meanLen: 25, seed: 7, timeout: 2 * time.Second,
+		tier: serve.Config{Shards: 2},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { s.tier.Shutdown(context.Background()) })
 	return s
 }
 
-// TestServeMetricsSmoke drives a slice of load through the server and scrapes
-// /metrics once — the acceptance check that the whole observability pipeline
-// (instrumented executors -> global sink -> Prometheus writer -> HTTP) shows
-// live histograms.
+// TestServeMetricsSmoke drives load through the serving tier and scrapes
+// /metrics from the ADMIN mux — the acceptance check that the observability
+// pipeline (tier executors -> global sink -> Prometheus writer -> HTTP)
+// shows live histograms, including the new serving-tier series.
 func TestServeMetricsSmoke(t *testing.T) {
 	s := testServer(t)
-	s.runQueries(rand.New(rand.NewSource(1)), core.NewExecutor(), 128)
+	s.runQueries(rand.New(rand.NewSource(1)), 128)
 
 	mux := http.NewServeMux()
-	s.register(mux)
+	s.registerAdmin(mux)
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
@@ -56,12 +60,12 @@ func TestServeMetricsSmoke(t *testing.T) {
 	text := string(body)
 	for _, want := range []string{
 		`fesia_build_info{backend=`,
-		`fesia_queries_total{strategy="merge"}`,
 		`fesia_query_latency_seconds_bucket`,
-		`fesia_query_latency_seconds_count`,
 		`fesia_kernel_dispatch_total{size_a=`,
-		`fesia_segment_pairs_total`,
-		`fesia_batch_candidates_total`,
+		`fesia_serve_requests_total{outcome="admitted"}`,
+		`fesia_serve_queue_depth`,
+		`fesia_serve_swaps_total{outcome="ok"}`,
+		`fesia_query_latency_seconds_bucket{strategy="serve"`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics output missing %q", want)
@@ -69,11 +73,12 @@ func TestServeMetricsSmoke(t *testing.T) {
 	}
 }
 
-// TestServeQueryEndpoint checks /query answers match the index directly.
+// TestServeQueryEndpoint checks /query answers on the PUBLIC mux match the
+// tier directly, and that malformed requests are rejected.
 func TestServeQueryEndpoint(t *testing.T) {
 	s := testServer(t)
 	mux := http.NewServeMux()
-	s.register(mux)
+	s.registerServing(mux)
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
 
@@ -87,12 +92,17 @@ func TestServeQueryEndpoint(t *testing.T) {
 		t.Fatalf("GET /query: status %d", resp.StatusCode)
 	}
 	var got struct {
-		Count int `json:"count"`
+		Count      int    `json:"count"`
+		Generation uint64 `json:"generation"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
-	if want := s.ix.QueryCount(a, b); got.Count != want {
+	want, err := s.tier.QueryCount(context.Background(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count != want {
 		t.Errorf("/query count = %d, want %d", got.Count, want)
 	}
 
@@ -105,5 +115,137 @@ func TestServeQueryEndpoint(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("GET %s: status %d, want 400", bad, resp.StatusCode)
 		}
+	}
+}
+
+// TestServingMuxHidesAdminSurface pins the listener split: nothing
+// operational is reachable through the public mux.
+func TestServingMuxHidesAdminSurface(t *testing.T) {
+	s := testServer(t)
+	mux := http.NewServeMux()
+	s.registerServing(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for _, path := range []string{"/metrics", "/debug/vars", "/debug/pprof/", "/admin/swap"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s on public mux: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestDeadlineHeader checks the X-Fesia-Deadline-Ms override: valid values
+// are honored, invalid ones are a 400 before any query runs.
+func TestDeadlineHeader(t *testing.T) {
+	s := testServer(t)
+	mux := http.NewServeMux()
+	s.registerServing(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	url := srv.URL + fmt.Sprintf("/query?items=%d", s.queryable[0])
+	req, _ := http.NewRequest("GET", url, nil)
+	req.Header.Set("X-Fesia-Deadline-Ms", "5000")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("valid deadline header: status %d, want 200", resp.StatusCode)
+	}
+
+	for _, bad := range []string{"0", "-5", "x", "600001"} {
+		req, _ := http.NewRequest("GET", url, nil)
+		req.Header.Set("X-Fesia-Deadline-Ms", bad)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("deadline header %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestStatusForError pins the tier-error -> HTTP mapping: overload and
+// shutdown are retryable 503s, expired deadlines 504, everything else 500.
+func TestStatusForError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{&serve.OverloadError{Reason: serve.ReasonShed}, http.StatusServiceUnavailable},
+		{&serve.OverloadError{Reason: serve.ReasonQueueFull}, http.StatusServiceUnavailable},
+		{serve.ErrShuttingDown, http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, http.StatusGatewayTimeout},
+		{errors.New("boom"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := statusForError(c.err); got != c.want {
+			t.Errorf("statusForError(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestAdminSwapEndpoint hot-swaps via the admin endpoint and checks the
+// generation advances and queries keep answering.
+func TestAdminSwapEndpoint(t *testing.T) {
+	s := testServer(t)
+	mux := http.NewServeMux()
+	s.registerAdmin(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	// GET is rejected.
+	resp, err := http.Get(srv.URL + "/admin/swap?seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /admin/swap: status %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Post(srv.URL+"/admin/swap?seed=9", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /admin/swap: status %d: %s", resp.StatusCode, body)
+	}
+	var got struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Generation != 1 || s.tier.Generation() != 1 {
+		t.Errorf("generation = %d / %d, want 1", got.Generation, s.tier.Generation())
+	}
+	if _, err := s.tier.QueryCount(context.Background(), s.queryable[0], s.queryable[1]); err != nil {
+		t.Errorf("query after swap: %v", err)
+	}
+
+	// A swap from a missing snapshot file fails and leaves the tier serving.
+	resp, err = http.Post(srv.URL+"/admin/swap?file=/nonexistent/corpus.fesia", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("POST /admin/swap bad file: status %d, want 500", resp.StatusCode)
+	}
+	if gen := s.tier.Generation(); gen != 1 {
+		t.Errorf("failed swap moved generation to %d", gen)
 	}
 }

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DrainGroup tracks in-flight references to a retirable resource — a corpus
+// epoch being hot-swapped out, a delta layer being compacted away — and
+// reports when the last one is gone. It is the drain half of the snapshot
+// lifecycle: WriteCorpus/ReadCorpus move immutable corpora between processes,
+// and a DrainGroup lets a serving layer retire the old corpus only after
+// every query that loaded a pointer to it has finished.
+//
+// The intended pattern is an atomic pointer flip with an acquire-recheck
+// loop on the read side:
+//
+//	// reader
+//	for {
+//		e := current.Load()
+//		e.drain.Acquire()
+//		if current.Load() == e {
+//			defer e.drain.Release()
+//			... use e ...
+//			break
+//		}
+//		e.drain.Release() // pointer moved between Load and Acquire; retry
+//	}
+//
+//	// swapper
+//	old := current.Swap(fresh)
+//	old.drain.Retire()   // drop the owner reference
+//	<-old.drain.Drained() // all in-flight readers finished
+//
+// The recheck makes the flip safe: a reader that raced the swap either
+// re-acquires the fresh epoch, or its reference is already counted and the
+// swapper's Drained wait covers it. Once drained, a group must not be
+// re-acquired — acquiring is only correct through a pointer that can still
+// reach the resource, and after Retire the flip has already removed it.
+type DrainGroup struct {
+	refs      atomic.Int64
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// NewDrainGroup returns a group holding the owner reference: the resource is
+// live until Retire drops it and every Acquire has been matched by a Release.
+func NewDrainGroup() *DrainGroup {
+	g := &DrainGroup{done: make(chan struct{})}
+	g.refs.Store(1)
+	return g
+}
+
+// Acquire takes one reference. Callers must pair it with Release and follow
+// the pointer-recheck pattern documented on the type.
+func (g *DrainGroup) Acquire() { g.refs.Add(1) }
+
+// Release drops one reference; the last drop (owner included) marks the
+// group drained.
+func (g *DrainGroup) Release() {
+	if g.refs.Add(-1) == 0 {
+		g.closeOnce.Do(func() { close(g.done) })
+	}
+}
+
+// Retire drops the owner reference taken by NewDrainGroup. Call it exactly
+// once, after the resource has been unpublished (the pointer flipped), so no
+// new Acquire can still succeed the recheck.
+func (g *DrainGroup) Retire() { g.Release() }
+
+// Drained returns a channel closed when the owner reference has been retired
+// and every acquired reference released.
+func (g *DrainGroup) Drained() <-chan struct{} { return g.done }
+
+// InFlight returns the current reference count, including the owner reference
+// until Retire. A gauge for tests and admin surfaces, not a synchronization
+// primitive.
+func (g *DrainGroup) InFlight() int64 { return g.refs.Load() }

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"fesia/internal/stats"
+)
+
+// Load shedding. Admission control bounds *concurrency*, but a workload
+// shift (bigger queries, slower machine) can saturate the slots themselves:
+// every query then pays the full queue wait and tail latency climbs toward
+// the wait budget. The shedder closes that loop with the PR-4 latency
+// histograms: a background tick computes the p99 of admitted queries over
+// the last window (the delta between two cumulative LatServe snapshots) and
+// steers a drop probability — multiplicative increase while the target is
+// breached, multiplicative decay once latency recovers, never exceeding
+// MaxShedFraction so a trickle of traffic keeps probing the true latency.
+// Shed requests are rejected before admission (no slot, no queue entry) with
+// *OverloadError{ReasonShed}.
+type shedder struct {
+	target     time.Duration // p99 objective for admitted queries
+	maxShed    float64       // ceiling on the drop fraction, < 1
+	minSamples uint64        // windows with fewer admitted queries don't steer
+
+	frac atomic.Uint64 // math.Float64bits of the current drop fraction
+	rng  atomic.Uint64 // xorshift64 state for the per-request drop draw
+
+	// prev is the cumulative LatServe histogram at the last tick. Owned by
+	// the tick goroutine; no lock needed.
+	prev stats.LatencyStats
+}
+
+func newShedder(target time.Duration, maxShed float64, minSamples int) *shedder {
+	s := &shedder{target: target, maxShed: maxShed, minSamples: uint64(minSamples)}
+	s.rng.Store(0x9E3779B97F4A7C15)
+	return s
+}
+
+// fraction returns the current drop probability.
+func (s *shedder) fraction() float64 { return math.Float64frombits(s.frac.Load()) }
+
+// shouldShed draws one drop decision at the current fraction. Safe from any
+// goroutine; the xorshift state is advanced with a CAS-free racy update —
+// losing an occasional draw to a race only re-uses a random value, which is
+// still random.
+func (s *shedder) shouldShed() bool {
+	f := s.fraction()
+	if f <= 0 {
+		return false
+	}
+	x := s.rng.Load()
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rng.Store(x)
+	return float64(x>>11)/(1<<53) < f
+}
+
+// tick steers the drop fraction from the cumulative LatServe histogram. It
+// subtracts the previous snapshot to get the last window's distribution and
+// applies the increase/decay rule to its p99. Call from one goroutine.
+func (s *shedder) tick(cur stats.LatencyStats) {
+	window := deltaLatency(s.prev, cur)
+	s.prev = cur
+	if window.Count < s.minSamples {
+		// Too few admitted queries to estimate a p99. If we are shedding
+		// hard, that silence is itself a signal to keep probing: decay
+		// slowly so traffic comes back after the overload passes.
+		s.decay(0.9)
+		return
+	}
+	p99 := window.Quantile(0.99)
+	switch {
+	case p99 > s.target:
+		s.grow()
+	case p99 < s.target*8/10:
+		s.decay(0.7)
+	}
+}
+
+// grow raises the drop fraction: doubling from a 5% floor reaches heavy
+// shedding within a few windows of a sustained breach.
+func (s *shedder) grow() {
+	f := s.fraction()
+	f = math.Max(0.05, f*2)
+	if f > s.maxShed {
+		f = s.maxShed
+	}
+	s.frac.Store(math.Float64bits(f))
+}
+
+// decay lowers the drop fraction by the given factor, snapping to zero below
+// 1% so the steady state is exactly "no shedding".
+func (s *shedder) decay(factor float64) {
+	f := s.fraction() * factor
+	if f < 0.01 {
+		f = 0
+	}
+	s.frac.Store(math.Float64bits(f))
+}
+
+// deltaLatency returns cur - prev bucket-wise: the latency distribution of
+// the window between two cumulative snapshots. Counters are monotonic, so
+// saturating subtraction only triggers on torn reads, where clamping to zero
+// is the safe reading.
+func deltaLatency(prev, cur stats.LatencyStats) stats.LatencyStats {
+	var d stats.LatencyStats
+	d.Count = satSub(cur.Count, prev.Count)
+	d.SumNanos = satSub(cur.SumNanos, prev.SumNanos)
+	for i := range d.Buckets {
+		d.Buckets[i] = satSub(cur.Buckets[i], prev.Buckets[i])
+	}
+	return d
+}
+
+func satSub(a, b uint64) uint64 {
+	if a < b {
+		return 0
+	}
+	return a - b
+}

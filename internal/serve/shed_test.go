@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fesia/internal/stats"
+)
+
+// addObs appends n observations in the bucket whose upper edge is d to a
+// cumulative histogram, mimicking what the sink's Observe would record.
+func addObs(l *stats.LatencyStats, n uint64, d time.Duration) {
+	bucket := 0
+	for time.Duration(uint64(1)<<uint(bucket)) < d {
+		bucket++
+	}
+	l.Buckets[bucket] += n
+	l.Count += n
+	l.SumNanos += n * uint64(d.Nanoseconds())
+}
+
+func TestShedderGrowsOnBreachAndDecays(t *testing.T) {
+	s := newShedder(time.Millisecond, 0.95, 10)
+	var cum stats.LatencyStats
+	s.tick(cum) // establish baseline
+	if s.fraction() != 0 {
+		t.Fatalf("initial fraction = %v", s.fraction())
+	}
+
+	// Sustained breach: 100 slow queries per window, far above target.
+	for i := 0; i < 10; i++ {
+		addObs(&cum, 100, 10*time.Millisecond)
+		s.tick(cum)
+	}
+	if got := s.fraction(); got != 0.95 {
+		t.Fatalf("fraction after sustained breach = %v, want cap 0.95", got)
+	}
+
+	// Recovery: fast queries well under 0.8x target.
+	for i := 0; i < 40 && s.fraction() > 0; i++ {
+		addObs(&cum, 100, 100*time.Microsecond)
+		s.tick(cum)
+	}
+	if got := s.fraction(); got != 0 {
+		t.Fatalf("fraction after recovery = %v, want 0", got)
+	}
+}
+
+func TestShedderIgnoresSparseWindows(t *testing.T) {
+	s := newShedder(time.Millisecond, 0.95, 50)
+	var cum stats.LatencyStats
+	s.tick(cum)
+	// 5 slow observations < minSamples: must not trigger growth.
+	addObs(&cum, 5, 10*time.Millisecond)
+	s.tick(cum)
+	if got := s.fraction(); got != 0 {
+		t.Fatalf("fraction grew on a sparse window: %v", got)
+	}
+}
+
+func TestShedderSparseWindowsDecayActiveShedding(t *testing.T) {
+	s := newShedder(time.Millisecond, 0.95, 50)
+	var cum stats.LatencyStats
+	s.tick(cum)
+	addObs(&cum, 100, 10*time.Millisecond)
+	s.tick(cum)
+	start := s.fraction()
+	if start == 0 {
+		t.Fatal("breach did not start shedding")
+	}
+	// Silence (no admitted queries) must slowly release the brake.
+	for i := 0; i < 200 && s.fraction() > 0; i++ {
+		s.tick(cum)
+	}
+	if got := s.fraction(); got != 0 {
+		t.Fatalf("fraction never decayed through silent windows: %v", got)
+	}
+}
+
+func TestShouldShedRespectsFraction(t *testing.T) {
+	s := newShedder(time.Millisecond, 0.95, 10)
+	for i := 0; i < 1000; i++ {
+		if s.shouldShed() {
+			t.Fatal("shed at fraction 0")
+		}
+	}
+	s.frac.Store(math.Float64bits(1.0))
+	for i := 0; i < 1000; i++ {
+		if !s.shouldShed() {
+			t.Fatal("passed at fraction 1")
+		}
+	}
+	// At 0.5 both outcomes must occur.
+	s.frac.Store(math.Float64bits(0.5))
+	shed, passed := 0, 0
+	for i := 0; i < 2000; i++ {
+		if s.shouldShed() {
+			shed++
+		} else {
+			passed++
+		}
+	}
+	if shed == 0 || passed == 0 {
+		t.Fatalf("fraction 0.5: shed=%d passed=%d, want both > 0", shed, passed)
+	}
+}
+
+func TestDeltaLatency(t *testing.T) {
+	var prev, cur stats.LatencyStats
+	addObs(&prev, 10, time.Millisecond)
+	cur = prev
+	addObs(&cur, 5, 4*time.Millisecond)
+	d := deltaLatency(prev, cur)
+	if d.Count != 5 {
+		t.Fatalf("delta count = %d, want 5", d.Count)
+	}
+	if q := d.Quantile(0.99); q < 4*time.Millisecond {
+		t.Fatalf("window p99 = %v, want >= 4ms", q)
+	}
+	// Torn read (cur < prev) clamps to zero, never underflows.
+	d = deltaLatency(cur, prev)
+	if d.Count != 0 {
+		t.Fatalf("torn delta count = %d, want 0", d.Count)
+	}
+}

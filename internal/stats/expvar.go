@@ -14,6 +14,7 @@ func (s *Snapshot) Map() map[string]any {
 		m[c.Name()] = s.Counters[c]
 	}
 	m["pool_inflight"] = s.PoolInFlight()
+	m["serve_queue_depth"] = s.ServeQueueDepth()
 	lat := make(map[string]any, NumLatHists)
 	for h := LatHist(0); h < NumLatHists; h++ {
 		l := s.Latencies[h]

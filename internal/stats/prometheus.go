@@ -55,6 +55,14 @@ var promCounters = [NumCounters]promSeries{
 	CtrSnapshotWriteErrors:     {"fesia_snapshot_ops_total", `{op="write",outcome="error"}`, ""},
 	CtrSnapshotReads:           {"fesia_snapshot_ops_total", `{op="read",outcome="ok"}`, ""},
 	CtrSnapshotReadErrors:      {"fesia_snapshot_ops_total", `{op="read",outcome="error"}`, ""},
+	CtrServeAdmitted:           {"fesia_serve_requests_total", `{outcome="admitted"}`, "Serving-tier requests, by admission outcome."},
+	CtrServeRejected:           {"fesia_serve_requests_total", `{outcome="rejected"}`, ""},
+	CtrServeShed:               {"fesia_serve_requests_total", `{outcome="shed"}`, ""},
+	CtrServeDeadline:           {"fesia_serve_deadline_expiries_total", "", "Admitted serving-tier queries that expired their deadline (HTTP 504s)."},
+	CtrServeQueueEnter:         {"fesia_serve_queue_events_total", `{event="enter"}`, "Admission-queue entries and exits (difference = live queue depth)."},
+	CtrServeQueueExit:          {"fesia_serve_queue_events_total", `{event="exit"}`, ""},
+	CtrServeSwaps:              {"fesia_serve_swaps_total", `{outcome="ok"}`, "Hot corpus snapshot swaps, by outcome."},
+	CtrServeSwapErrors:         {"fesia_serve_swaps_total", `{outcome="error"}`, ""},
 }
 
 // WritePrometheus renders a snapshot in the Prometheus text exposition format
@@ -100,6 +108,11 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 
 	// Pool in-flight gauge, derived from the Do counter pair.
 	if _, err := fmt.Fprintf(w, "# HELP fesia_pool_inflight Parallel Do calls currently in flight.\n# TYPE fesia_pool_inflight gauge\nfesia_pool_inflight %d\n", s.PoolInFlight()); err != nil {
+		return err
+	}
+
+	// Serving-tier queue-depth gauge, derived from the enter/exit counter pair.
+	if _, err := fmt.Fprintf(w, "# HELP fesia_serve_queue_depth Requests currently waiting in the admission queue.\n# TYPE fesia_serve_queue_depth gauge\nfesia_serve_queue_depth %d\n", s.ServeQueueDepth()); err != nil {
 		return err
 	}
 

@@ -106,6 +106,19 @@ const (
 	CtrSnapshotReads
 	CtrSnapshotReadErrors
 
+	// Serving tier (internal/serve): admission, shedding, deadline and hot
+	// snapshot-swap outcomes. Enter/exit form the live queue-depth gauge
+	// (see Snapshot.ServeQueueDepth), the same derived-gauge idiom as the
+	// pool's in-flight pair.
+	CtrServeAdmitted   // requests admitted past the concurrency limiter
+	CtrServeRejected   // admission rejections (queue full or wait budget blown)
+	CtrServeShed       // requests dropped by the latency-driven load shedder
+	CtrServeDeadline   // admitted queries that expired their deadline (HTTP 504s)
+	CtrServeQueueEnter // requests that entered the bounded admission queue
+	CtrServeQueueExit  // requests that left the queue (admitted, timed out or cancelled)
+	CtrServeSwaps      // hot corpus swaps completed (pointer flipped, old drained)
+	CtrServeSwapErrors // swaps aborted with the old corpus left serving
+
 	NumCounters // number of counters; keep last
 )
 
@@ -149,6 +162,14 @@ var counterNames = [NumCounters]string{
 	CtrSnapshotWriteErrors:     "snapshot_write_errors",
 	CtrSnapshotReads:           "snapshot_reads",
 	CtrSnapshotReadErrors:      "snapshot_read_errors",
+	CtrServeAdmitted:           "serve_admitted",
+	CtrServeRejected:           "serve_rejected",
+	CtrServeShed:               "serve_shed",
+	CtrServeDeadline:           "serve_deadline_expiries",
+	CtrServeQueueEnter:         "serve_queue_enter",
+	CtrServeQueueExit:          "serve_queue_exit",
+	CtrServeSwaps:              "serve_swaps",
+	CtrServeSwapErrors:         "serve_swap_errors",
 }
 
 // Name returns the counter's stable external name.
@@ -164,6 +185,7 @@ const (
 	LatKWay
 	LatBatch
 	LatCross    // cross-representation pair queries
+	LatServe    // serving tier: end-to-end latency of admitted queries
 	NumLatHists // keep last
 )
 
@@ -173,6 +195,7 @@ var latNames = [NumLatHists]string{
 	LatKWay:  "kway",
 	LatBatch: "batch",
 	LatCross: "cross",
+	LatServe: "serve",
 }
 
 // Name returns the histogram's strategy label.
@@ -380,6 +403,16 @@ func (s *Snapshot) PoolInFlight() uint64 {
 		return 0 // torn read across the two cells; clamp
 	}
 	return d - f
+}
+
+// ServeQueueDepth returns the serving tier's current admission-queue depth,
+// derived from the enter/exit counter pair.
+func (s *Snapshot) ServeQueueDepth() uint64 {
+	in, out := s.Counters[CtrServeQueueEnter], s.Counters[CtrServeQueueExit]
+	if in < out {
+		return 0 // torn read across the two cells; clamp
+	}
+	return in - out
 }
 
 // Snapshot merges every shard (and the shared multi-writer shard) into a

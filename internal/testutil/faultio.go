@@ -6,7 +6,9 @@
 package testutil
 
 import (
+	"bytes"
 	"errors"
+	"fmt"
 	"io"
 )
 
@@ -100,6 +102,28 @@ func ForEachByteFlip(data []byte, fn func(pos int, corrupted []byte)) {
 		copy(c, data)
 		c[i] ^= 0xFF
 		fn(i, c)
+	}
+}
+
+// ForEachReadFault drives fn once per injected read fault over data: for
+// every sampled offset n it presents both a stream that ends cleanly after n
+// bytes (lost tail) and one that errors mid-read after n bytes (dying
+// medium). stride samples every stride-th offset (minimum 1) so long streams
+// stay affordable; offset 0 and the final byte are always covered. desc
+// names the fault for test failure messages. Readers that survive every
+// fault with an error — old state intact — are what the hot-swap chaos tests
+// pin down.
+func ForEachReadFault(data []byte, stride int, fn func(desc string, r io.Reader)) {
+	if stride < 1 {
+		stride = 1
+	}
+	for n := 0; n < len(data); n += stride {
+		fn(fmt.Sprintf("eof@%d", n), &ShortReader{R: bytes.NewReader(data), N: n})
+		fn(fmt.Sprintf("err@%d", n), &FlakyReader{R: bytes.NewReader(data), FailAt: n})
+	}
+	if last := len(data) - 1; last > 0 && last%stride != 0 {
+		fn(fmt.Sprintf("eof@%d", last), &ShortReader{R: bytes.NewReader(data), N: last})
+		fn(fmt.Sprintf("err@%d", last), &FlakyReader{R: bytes.NewReader(data), FailAt: last})
 	}
 }
 

@@ -39,6 +39,7 @@ const (
 	LatKWay  = stats.LatKWay
 	LatBatch = stats.LatBatch
 	LatCross = stats.LatCross
+	LatServe = stats.LatServe
 
 	CtrQueriesMerge    = stats.CtrQueriesMerge
 	CtrQueriesHash     = stats.CtrQueriesHash
@@ -58,6 +59,17 @@ const (
 	CtrPoolPanics      = stats.CtrPoolPanics
 	CtrSnapshotWrites  = stats.CtrSnapshotWrites
 	CtrSnapshotReads   = stats.CtrSnapshotReads
+
+	// Serving-tier counters (internal/serve): admission outcomes, deadline
+	// expiries, the queue-depth gauge pair, and hot-swap outcomes.
+	CtrServeAdmitted   = stats.CtrServeAdmitted
+	CtrServeRejected   = stats.CtrServeRejected
+	CtrServeShed       = stats.CtrServeShed
+	CtrServeDeadline   = stats.CtrServeDeadline
+	CtrServeQueueEnter = stats.CtrServeQueueEnter
+	CtrServeQueueExit  = stats.CtrServeQueueExit
+	CtrServeSwaps      = stats.CtrServeSwaps
+	CtrServeSwapErrors = stats.CtrServeSwapErrors
 
 	// Planner decision counters: one per (dispatch point, chosen strategy),
 	// plus the exploration tally and the count of decisions where the learned
