@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover check lint bench benchcheck batchbench planbench servebench ablation fuzz fuzzsmoke kernels experiments examples clean
+.PHONY: all build test race cover check lint bench benchcheck batchbench planbench servebench tracebench ablation fuzz fuzzsmoke kernels experiments examples clean
 
 all: build test
 
@@ -73,7 +73,12 @@ bench:
 #      below saturation, push-back engaged with bounded admitted p99 (not
 #      collapse) under 4x-concurrency overload, and hot swaps under that
 #      storm with zero failed in-flight queries (built-in gates in
-#      -servejson, BENCH_serve.json regenerated).
+#      -servejson, BENCH_serve.json regenerated);
+#   7. the trace-overhead pairing — a tier with tracing at the default
+#      1-in-64 sampling vs an identical untraced tier on the same query
+#      stream, interleaved rounds; the on/off ratio of median serve latency
+#      must stay within 1.05x (built-in gate in -tracejson, BENCH_trace.json
+#      regenerated).
 # Regenerate the micro baseline after intentional performance changes with:
 #   $(GO) run ./cmd/fesiabench -json -quick && cp BENCH_intersect.json BENCH_baseline.json
 benchcheck:
@@ -83,6 +88,7 @@ benchcheck:
 	$(GO) run ./cmd/fesiabench -hybridjson -quick
 	$(GO) run ./cmd/fesiabench -planjson -quick
 	$(GO) run ./cmd/fesiabench -servejson -quick
+	$(GO) run ./cmd/fesiabench -tracejson -quick
 
 # Adaptive planner vs static heuristics at full scale (writes BENCH_planner.json).
 planbench:
@@ -99,6 +105,10 @@ simdbench:
 # Serving-tier saturation ramp at full scale (writes BENCH_serve.json).
 servebench:
 	$(GO) run ./cmd/fesiabench -servejson
+
+# Trace-overhead pairing at full scale (writes BENCH_trace.json).
+tracebench:
+	$(GO) run ./cmd/fesiabench -tracejson
 
 ablation:
 	$(GO) test -bench=Ablation -benchmem .

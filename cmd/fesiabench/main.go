@@ -121,6 +121,7 @@ func main() {
 	hybridJSON := flag.Bool("hybridjson", false, "benchmark hybrid per-set representations against all-segmented and write BENCH_hybrid.json")
 	planJSON := flag.Bool("planjson", false, "benchmark the adaptive planner against the static heuristics and write BENCH_planner.json")
 	serveJSON := flag.Bool("servejson", false, "run the serving-tier saturation ramp (admission, shedding, hot swaps) and write BENCH_serve.json")
+	traceJSON := flag.Bool("tracejson", false, "paired tracing-off vs tracing-on serve benchmark and write BENCH_trace.json")
 	snapshot := flag.Bool("snapshot", false, "round-trip a corpus through the checksummed snapshot files and verify")
 	baseline := flag.String("baseline", "", "with -json/-batchjson: fail on >15% ns/op regression vs this baseline file")
 	statsDump := flag.Bool("stats", false, "enable the observability sink and dump the kernel-dispatch histogram after the run")
@@ -186,6 +187,13 @@ func main() {
 	if *serveJSON {
 		fmt.Printf("fesiabench: serving-tier saturation ramp (quick=%v, backend=%s)\n", *quick, simd.Backend())
 		if err := runServeBench("BENCH_serve.json", *quick); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *traceJSON {
+		fmt.Printf("fesiabench: trace overhead paired benchmark (quick=%v, backend=%s)\n", *quick, simd.Backend())
+		if err := runTraceBench("BENCH_trace.json", *quick); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -44,6 +44,7 @@ import (
 	"fesia"
 	"fesia/internal/datasets"
 	"fesia/internal/serve"
+	"fesia/internal/trace"
 )
 
 // serverConfig sizes the demo corpus and shapes the serving tier.
@@ -63,6 +64,10 @@ type server struct {
 	cfg       serverConfig
 	tier      *serve.Tier
 	queryable []uint32 // items with a non-trivial posting list
+
+	// queryOverride is a test hook standing in for tier.QueryCount — how the
+	// HTTP tests exercise rejection paths the tier only produces under load.
+	queryOverride func(ctx context.Context, items ...uint32) (int, error)
 }
 
 // corpusLists renders a generated corpus as the tier's input shape: one
@@ -139,6 +144,10 @@ func (s *server) registerAdmin(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/admin/swap", s.handleSwap)
+	if tr := s.tier.Tracer(); tr != nil {
+		mux.Handle("/debug/traces", tr.Handler())
+		mux.Handle("/debug/slow", tr.SlowHandler())
+	}
 }
 
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -150,9 +159,12 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /query?items=a,b,...  conjunctive document count (comma-separated item IDs)
   /query?rand=k         random k-keyword query from the corpus
   X-Fesia-Deadline-Ms   per-request deadline override (header)
+  X-Fesia-Trace: 1      force trace capture; span breakdown in the response
 admin listener:
   /metrics              Prometheus text format
   /debug/vars           expvar JSON (key "fesia")
+  /debug/traces         recent retained query traces (JSON)
+  /debug/slow           slow-query log with full span breakdowns (JSON)
   /debug/pprof/         pprof index
   /admin/swap           POST ?seed=N or ?file=PATH: hot corpus swap
 `, s.tier.NumShards(), s.tier.Generation())
@@ -184,6 +196,27 @@ func statusForError(err error) int {
 	default:
 		return http.StatusInternalServerError
 	}
+}
+
+// retryAfterFor maps an overload flavor to a jittered Retry-After value in
+// whole seconds, so clients rejected together do not re-converge on the same
+// instant: shedding (latency-driven, recovers on a control-loop timescale)
+// backs off longest, a full queue less, an expired wait budget least.
+func retryAfterFor(err error) string {
+	var oe *serve.OverloadError
+	if !errors.As(err, &oe) {
+		return "1"
+	}
+	var base, jitter int
+	switch oe.Reason {
+	case serve.ReasonShed:
+		base, jitter = 2, 3
+	case serve.ReasonQueueFull:
+		base, jitter = 1, 2
+	default: // ReasonQueueWait
+		base, jitter = 1, 1
+	}
+	return strconv.Itoa(base + rand.Intn(jitter))
 }
 
 // handleQuery answers one conjunctive query through the full serving path —
@@ -221,21 +254,34 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
 	start := time.Now()
-	n, err := s.tier.QueryCount(ctx, items...)
+	var n int
+	var capd *trace.Captured
+	switch {
+	case s.queryOverride != nil:
+		n, err = s.queryOverride(ctx, items...)
+	case r.Header.Get("X-Fesia-Trace") == "1":
+		n, capd, err = s.tier.QueryCountTraced(ctx, items...)
+	default:
+		n, err = s.tier.QueryCount(ctx, items...)
+	}
 	if err != nil {
 		if errors.Is(err, serve.ErrOverload) {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfterFor(err))
 		}
 		http.Error(w, err.Error(), statusForError(err))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	resp := map[string]any{
 		"items":      items,
 		"count":      n,
 		"elapsed_us": time.Since(start).Microseconds(),
 		"generation": s.tier.Generation(),
-	})
+	}
+	if capd != nil {
+		resp["trace"] = capd
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
 }
 
 // handleSwap hot-swaps the corpus under live traffic: ?file=PATH loads a
@@ -359,6 +405,8 @@ func main() {
 	maxQueue := flag.Int("maxqueue", 0, "admission queue depth (0 = 2x maxconc)")
 	queueWait := flag.Duration("queuewait", 0, "admission queue wait budget (0 = 50ms)")
 	shedTarget := flag.Duration("shedtarget", 0, "p99 target steering the load shedder (0 = 25ms, negative disables)")
+	traceSample := flag.Int("tracesample", 64, "trace head-sampling period: retain one query in N per slot (0 disables)")
+	slowLog := flag.Duration("slowlog", 20*time.Millisecond, "slow-query threshold: queries at or above are captured in full (0 disables)")
 	flag.Parse()
 
 	log.Printf("building corpus (%d docs, %d items)...", *docs, *items)
@@ -371,6 +419,8 @@ func main() {
 			MaxQueue:      *maxQueue,
 			MaxQueueWait:  *queueWait,
 			ShedTargetP99: *shedTarget,
+			TraceSample:   *traceSample,
+			SlowQuery:     *slowLog,
 		},
 	})
 	if err != nil {
@@ -404,8 +454,12 @@ func main() {
 			}
 		}()
 	}
-	log.Printf("serving on %s, admin on %s (backend %s, planner %s, %d shards)",
-		*addr, *adminAddr, fesia.Backend(), fesia.ActivePlannerMode(), s.tier.NumShards())
+	traceInfo := "off"
+	if tr := s.tier.Tracer(); tr != nil {
+		traceInfo = fmt.Sprintf("sample=1/%d slow=%v", tr.SampleN(), tr.SlowThreshold())
+	}
+	log.Printf("serving on %s, admin on %s (backend %s, planner %s, %d shards, tracing %s)",
+		*addr, *adminAddr, fesia.Backend(), fesia.ActivePlannerMode(), s.tier.NumShards(), traceInfo)
 
 	<-ctx.Done()
 	log.Printf("signal received; draining...")

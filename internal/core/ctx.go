@@ -6,6 +6,7 @@ import (
 
 	"fesia/internal/planner"
 	"fesia/internal/stats"
+	"fesia/internal/trace"
 )
 
 // Context-aware query paths. A serving system needs runaway queries to be
@@ -54,14 +55,24 @@ func (e *Executor) noteCancel(err error) error {
 func (e *Executor) CountCtx(ctx context.Context, a, b *Set) (int, error) {
 	compatible(a, b)
 	if crossPair(a, b) {
-		return e.crossCountCtx(ctx, a, b)
+		if e.tr == nil {
+			return e.crossCountCtx(ctx, a, b)
+		}
+		start := time.Now()
+		n, err := e.crossCountCtx(ctx, a, b)
+		if err == nil {
+			e.tr.Span(trace.KindStrategy, trace.ArmCross, 0,
+				start, time.Since(start), uint64(a.n), uint64(b.n))
+		}
+		return n, err
 	}
 	if err := ctx.Err(); err != nil {
 		return 0, e.noteCancel(err)
 	}
 	ch, hash := planSegSeg(e.plan, e.st, a, b)
+	tracePlanSegSeg(e.tr, e.plan, ch, a, b)
 	var start time.Time
-	if e.st != nil || ch.Measure() {
+	if e.st != nil || e.tr != nil || ch.Measure() {
 		start = time.Now()
 	}
 	var n int
@@ -75,14 +86,31 @@ func (e *Executor) CountCtx(ctx context.Context, a, b *Set) (int, error) {
 		// A cancelled pass did partial work; its latency would skew the model.
 		return 0, e.noteCancel(err)
 	}
+	// One clock read serves the stats observation, the trace span and the
+	// planner feedback alike — the tracing seam must not add reads of its own.
+	var el time.Duration
+	if e.st != nil || e.tr != nil || ch.Measure() {
+		el = time.Since(start)
+	}
 	if e.st != nil {
 		if hash {
-			observeSince(e.st, stats.CtrQueriesHash, stats.LatHash, start)
+			e.st.Inc(stats.CtrQueriesHash)
+			e.st.Observe(stats.LatHash, el)
 		} else {
-			observeSince(e.st, stats.CtrQueriesMerge, stats.LatMerge, start)
+			e.st.Inc(stats.CtrQueriesMerge)
+			e.st.Observe(stats.LatMerge, el)
 		}
 	}
-	planRecord(e.plan, ch, start)
+	if e.tr != nil {
+		arm := uint8(trace.ArmMerge)
+		if hash {
+			arm = trace.ArmHash
+		}
+		e.tr.Span(trace.KindStrategy, arm, 0, start, el, uint64(a.n), uint64(b.n))
+	}
+	if ch.Measure() {
+		e.plan.Record(ch, el)
+	}
 	return n, nil
 }
 
@@ -108,6 +136,10 @@ func (e *Executor) countMergeCtx(ctx context.Context, a, b *Set) (int, error) {
 		e.st.Add(stats.CtrSegPairs, uint64(len(recs)))
 		e.st.Add(stats.CtrSegmentsScanned, uint64(x.bm.NumSegments()))
 	}
+	if e.tr != nil {
+		e.tr.Event(trace.KindKernel, trace.ArmMerge, 0,
+			uint64(len(recs)), uint64(x.bm.NumSegments()))
+	}
 	n := 0
 	var touch uint32
 	for lo := 0; lo < len(recs); lo += ctxStageBlock {
@@ -129,6 +161,10 @@ func (e *Executor) countHashCtx(ctx context.Context, a, b *Set) (int, error) {
 	small, large := a, b
 	if small.n > large.n {
 		small, large = large, small
+	}
+	if e.tr != nil {
+		e.tr.Event(trace.KindKernel, trace.ArmHash, 0,
+			uint64(small.n), uint64(large.n))
 	}
 	n := 0
 	for lo := 0; lo < small.n; lo += ctxProbeBlock {
@@ -250,7 +286,7 @@ func (e *Executor) CountKCtx(ctx context.Context, sets ...*Set) (int, error) {
 		return 0, e.noteCancel(err)
 	}
 	var start time.Time
-	if e.st != nil {
+	if e.st != nil || e.tr != nil {
 		start = time.Now()
 	}
 	if anyCross(sets) {
@@ -262,9 +298,7 @@ func (e *Executor) CountKCtx(ctx context.Context, sets ...*Set) (int, error) {
 		if cancelled {
 			return 0, e.noteCancel(ctx.Err())
 		}
-		if e.st != nil {
-			observeSince(e.st, stats.CtrQueriesKWay, stats.LatKWay, start)
-		}
+		e.observeKWay(start, len(sets), total)
 		return total, nil
 	}
 	x, rest := e.kwayPrepare(sets)
@@ -277,10 +311,24 @@ func (e *Executor) CountKCtx(ctx context.Context, sets ...*Set) (int, error) {
 		e.kwayChainRange(x, rest, lo, min(lo+ctxWordBlock, words),
 			func(cur []uint32) { total += len(cur) })
 	}
-	if e.st != nil {
-		observeSince(e.st, stats.CtrQueriesKWay, stats.LatKWay, start)
-	}
+	e.observeKWay(start, len(sets), total)
 	return total, nil
+}
+
+// observeKWay records one k-way pass into the stats sink and the trace cell
+// off a single shared clock read.
+func (e *Executor) observeKWay(start time.Time, nsets, total int) {
+	if e.st == nil && e.tr == nil {
+		return
+	}
+	el := time.Since(start)
+	if e.st != nil {
+		e.st.Inc(stats.CtrQueriesKWay)
+		e.st.Observe(stats.LatKWay, el)
+	}
+	if e.tr != nil {
+		e.tr.Span(trace.KindStrategy, trace.ArmKWay, 0, start, el, uint64(nsets), uint64(total))
+	}
 }
 
 // CountManyCtx is CountMany with cooperative cancellation, checked once per

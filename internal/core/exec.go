@@ -7,6 +7,7 @@ import (
 	"fesia/internal/bitmap"
 	"fesia/internal/planner"
 	"fesia/internal/stats"
+	"fesia/internal/trace"
 )
 
 // Visitor consumes one intersection result element. Streaming results through
@@ -58,6 +59,12 @@ type Executor struct {
 	// worker slot carries its own. See plan.go for the ownership model.
 	plan      *planner.Handle
 	planModel *planner.Model
+
+	// Per-query tracing (nil when no tracer is installed — the default).
+	// tr is this executor's (shard × slot) staging cell in the serving
+	// tier's tracer; the sequential ctx paths append strategy, planner and
+	// kernel records to it. See trace.go for the ownership model.
+	tr *trace.Cell
 }
 
 // execWorker is one worker's private state inside an Executor's parallel

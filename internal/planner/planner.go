@@ -410,6 +410,15 @@ func (h *Handle) Decide(d Decision, w0, w1 int) Choice {
 	return ch
 }
 
+// EstimateNanos returns the fitted cost estimates, in nanoseconds, of both
+// arms of a decision at a work-size pair — the two products Decide compares.
+// The tracing layer records them beside the measured latency so a mispriced
+// cell (prediction far from observation) is visible per query.
+func (h *Handle) EstimateNanos(d Decision, w0, w1 int) (est0, est1 float64) {
+	cell := cellOf(d, w0, w1)
+	return h.m.loadCost(2*cell) * float64(w0), h.m.loadCost(2*cell+1) * float64(w1)
+}
+
 // Record feeds one measured decision back into the handle's shard, and every
 // refitEvery samples triggers a lazy model re-fit. No-op unless the choice
 // was flagged for measurement.

@@ -34,6 +34,7 @@ import (
 
 	"fesia/internal/core"
 	"fesia/internal/stats"
+	"fesia/internal/trace"
 )
 
 // Config shapes a Tier. The zero value of every field selects a sensible
@@ -67,6 +68,17 @@ type Config struct {
 	Build core.Config
 	// Pool runs the scatter parts. Default: core.SharedPool().
 	Pool *core.Pool
+	// TraceSample enables per-query tracing with head sampling: one query
+	// in TraceSample per admission slot is retained into the trace rings.
+	// 0 disables head sampling. Tracing as a whole is active when either
+	// TraceSample or SlowQuery is set; when both are zero (the default) the
+	// tier carries no tracer and every trace seam costs one nil check.
+	TraceSample int
+	// SlowQuery is the tail-capture threshold: every query whose
+	// end-to-end latency (including admission wait) reaches it is retained
+	// in full and appended to the bounded slow-query log. 0 disables tail
+	// capture.
+	SlowQuery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -129,6 +141,19 @@ type Tier struct {
 	// holding that admission slot.
 	slotStats []*stats.Shard
 
+	// matrix is the per-(shard × slot) serve-metrics matrix behind the
+	// `shard`-labelled Prometheus/expvar series; always on.
+	matrix *stats.ServeMatrix
+
+	// tracer is the per-query tracing layer; nil unless Config enabled it.
+	// exemplars links LatServe buckets to retained trace IDs.
+	tracer    *trace.Tracer
+	exemplars *stats.ExemplarStore
+
+	// partDelay is a test hook injecting latency into one scatter part —
+	// how the slow-shard forensics tests fabricate a straggler.
+	partDelay func(shard int)
+
 	swapMu sync.Mutex // serializes Swap; gen is owned by it
 	gen    uint64
 
@@ -171,6 +196,23 @@ func NewTier(lists [][]uint32, cfg Config) (*Tier, error) {
 			errs:   make([]error, cfg.Shards),
 		}
 		t.slotStats[s] = t.sink.NewShard()
+	}
+	t.matrix = stats.NewServeMatrix(cfg.Shards, cfg.MaxConcurrent)
+	t.sink.SetServeMatrix(t.matrix)
+	if cfg.TraceSample > 0 || cfg.SlowQuery > 0 {
+		t.tracer = trace.New(trace.Config{
+			Shards:  cfg.Shards,
+			Slots:   cfg.MaxConcurrent,
+			SampleN: cfg.TraceSample,
+			Slow:    cfg.SlowQuery,
+		})
+		t.exemplars = stats.NewExemplarStore()
+		t.sink.SetServeExemplars(t.exemplars)
+		for shard := 0; shard < cfg.Shards; shard++ {
+			for slot := 0; slot < cfg.MaxConcurrent; slot++ {
+				t.exs[shard*cfg.MaxConcurrent+slot].SetTraceCell(t.tracer.ShardCell(shard, slot))
+			}
+		}
 	}
 	if cfg.ShedTargetP99 > 0 {
 		t.tickWG.Add(1)
@@ -218,60 +260,169 @@ func (t *Tier) acquireEpoch() *epoch {
 // rejection, ErrShuttingDown after Shutdown, and the context error when the
 // deadline expires first.
 func (t *Tier) QueryCount(ctx context.Context, items ...uint32) (int, error) {
+	n, _, err := t.queryCount(ctx, false, items)
+	return n, err
+}
+
+// QueryCountTraced is QueryCount with forced trace capture: the query's
+// trace is retained regardless of sampling, and its rendered span breakdown
+// is returned alongside the count (the X-Fesia-Trace: 1 path). The breakdown
+// is nil when the tier has no tracer, or when the query was rejected before
+// admission (there is nothing to attribute yet).
+func (t *Tier) QueryCountTraced(ctx context.Context, items ...uint32) (int, *trace.Captured, error) {
+	return t.queryCount(ctx, true, items)
+}
+
+func (t *Tier) queryCount(ctx context.Context, forced bool, items []uint32) (int, *trace.Captured, error) {
 	if t.closed.Load() {
-		return 0, ErrShuttingDown
+		return 0, nil, ErrShuttingDown
 	}
 	if t.shed.shouldShed() {
 		t.sink.Inc(stats.CtrServeShed)
-		return 0, errShed
+		return 0, nil, errShed
+	}
+	tr := t.tracer
+	var arrival time.Time
+	if tr != nil {
+		arrival = time.Now()
 	}
 	slot, err := t.lim.acquire(ctx, t.sink)
 	if err != nil {
-		if errors.Is(err, ErrOverload) {
+		var oe *OverloadError
+		if errors.As(err, &oe) {
 			t.sink.Inc(stats.CtrServeRejected)
+			switch oe.Reason {
+			case ReasonQueueFull:
+				t.sink.Inc(stats.CtrServeRejQueueFull)
+			case ReasonQueueWait:
+				t.sink.Inc(stats.CtrServeRejQueueWait)
+			}
 		}
-		return 0, err
+		return 0, nil, err
 	}
 	defer t.lim.release(slot)
 	st := t.slotStats[slot]
 	st.Inc(stats.CtrServeAdmitted)
 	start := time.Now()
+	if tr != nil {
+		tr.Begin(slot, arrival)
+		tr.TierCell(slot).Span(trace.KindQueue, trace.ArmNone, 0,
+			arrival, start.Sub(arrival), 0, 0)
+	}
 	n, err := t.scatter(ctx, slot, items)
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
 			st.Inc(stats.CtrServeDeadline)
 		}
-		return 0, err
+		// Failed queries still commit their trace — a deadline expiry is
+		// exactly the slow query the tail capture exists for.
+		capd := t.commitTrace(tr, st, slot, forced, trace.FlagError, len(items), 0, arrival, start, time.Since(start))
+		return 0, capd, err
 	}
 	// Only successful queries steer the shedder: a deadline expiry's
-	// latency measures the deadline, not the service.
-	st.Observe(stats.LatServe, time.Since(start))
-	return n, nil
+	// latency measures the deadline, not the service. The one clock read
+	// here closes the latency observation AND the trace's scatter/root
+	// spans — tracing must not add reads of its own past the arrival stamp.
+	el := time.Since(start)
+	st.Observe(stats.LatServe, el)
+	capd := t.commitTrace(tr, st, slot, forced, 0, len(items), n, arrival, start, el)
+	return n, capd, nil
+}
+
+// commitTrace closes the tier-level spans (scatter and root, off the clock
+// reads the stats path already paid for), decides retention and (for forced
+// captures) renders the breakdown. Called by the slot owner before release;
+// no-op without a tracer, allocation-free unless forced.
+func (t *Tier) commitTrace(tr *trace.Tracer, st *stats.Shard, slot int, forced bool, flags uint8, nitems, count int, arrival, start time.Time, el time.Duration) *trace.Captured {
+	if tr == nil {
+		return nil
+	}
+	d := el + start.Sub(arrival)
+	cell := tr.TierCell(slot)
+	if cell.Truncated() {
+		flags |= trace.FlagTruncated
+	}
+	cell.Span(trace.KindScatter, trace.ArmNone, flags&trace.FlagError,
+		start, el, uint64(t.cfg.Shards), 0)
+	cell.Span(trace.KindQuery, trace.ArmNone, flags,
+		arrival, d, uint64(nitems), uint64(count))
+	v := tr.Finish(slot, d, forced)
+	switch v.Reason {
+	case trace.ReasonSampled:
+		st.Inc(stats.CtrTraceSampled)
+	case trace.ReasonSlow:
+		st.Inc(stats.CtrTraceSlow)
+	case trace.ReasonForced:
+		st.Inc(stats.CtrTraceForced)
+	default:
+		return nil
+	}
+	t.exemplars.Put(v.ID, d)
+	if forced {
+		return tr.Capture(slot, v)
+	}
+	return nil
 }
 
 // scatter fans the query out to every shard on the pool and sums the counts.
-// Parts write only their own cells of the slot's gather scratch; the first
-// error (by shard order) wins, matching the deterministic single-shard path.
+// Parts write only their own cells of the slot's gather scratch (and their
+// own (shard × slot) cells of the serve matrix and trace topology); the
+// first error (by shard order) wins, matching the deterministic
+// single-shard path. The tier-level scatter span is closed by commitTrace
+// off the caller's clock reads — this function reads no clocks of its own.
 func (t *Tier) scatter(ctx context.Context, slot int, items []uint32) (int, error) {
 	e := t.acquireEpoch()
 	defer e.drain.Release()
 	ns := len(e.shards)
 	if ns == 1 {
-		return queryShard(ctx, e.shards[0], t.exs[slot], &t.setsBufs[slot], items)
+		return t.queryPart(ctx, e, 0, slot, slot, items)
 	}
 	g := &t.gathers[slot]
 	t.cfg.Pool.Do(ns, func(part int) {
 		i := part*t.cfg.MaxConcurrent + slot
-		g.counts[part], g.errs[part] = queryShard(ctx, e.shards[part], t.exs[i], &t.setsBufs[i], items)
+		g.counts[part], g.errs[part] = t.queryPart(ctx, e, part, slot, i, items)
 	})
 	total := 0
 	for p := 0; p < ns; p++ {
-		if err := g.errs[p]; err != nil {
-			return 0, err
+		if perr := g.errs[p]; perr != nil {
+			return 0, perr
 		}
 		total += g.counts[p]
 	}
 	return total, nil
+}
+
+// queryPart runs one scatter part: the query against document shard `part`
+// on the executor pinned to (part, slot) — index i in the executor matrix.
+// It records the part into the per-shard serve matrix and, when tracing,
+// arms the (shard × slot) staging cell before the executor runs and appends
+// the part's span after.
+func (t *Tier) queryPart(ctx context.Context, e *epoch, part, slot, i int, items []uint32) (int, error) {
+	tr := t.tracer
+	if tr != nil {
+		tr.ShardCell(part, slot).Reset(tr.TierCell(slot).Base())
+	}
+	ps := time.Now()
+	t.matrix.Enter(part, slot)
+	if d := t.partDelay; d != nil {
+		d(part)
+	}
+	n, err := queryShard(ctx, e.shards[part], t.exs[i], &t.setsBufs[i], items)
+	el := time.Since(ps)
+	if err != nil {
+		t.matrix.ExitErr(part, slot)
+	} else {
+		t.matrix.ExitOK(part, slot, el)
+	}
+	if tr != nil {
+		var flags uint8
+		if err != nil {
+			flags = trace.FlagError
+		}
+		tr.ShardCell(part, slot).Span(trace.KindShard, trace.ArmNone, flags,
+			ps, el, uint64(n), 0)
+	}
+	return n, err
 }
 
 // Swap atomically replaces the corpus with one built from lists (the same
@@ -360,6 +511,11 @@ func (t *Tier) MaxConcurrent() int { return t.cfg.MaxConcurrent }
 // ShedFraction returns the shedder's current drop probability — 0 in the
 // healthy steady state.
 func (t *Tier) ShedFraction() float64 { return t.shed.fraction() }
+
+// Tracer returns the tier's tracing layer, or nil when tracing was not
+// enabled in the Config. The HTTP layer mounts its Handler/SlowHandler as
+// the /debug/traces and /debug/slow admin endpoints.
+func (t *Tier) Tracer() *trace.Tracer { return t.tracer }
 
 // Stats returns a merged snapshot of the sink the tier records into (the
 // global sink when stats were enabled at construction).

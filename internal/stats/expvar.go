@@ -2,6 +2,7 @@ package stats
 
 import (
 	"expvar"
+	"fmt"
 )
 
 // Map renders the snapshot as a JSON-marshalable tree — the expvar payload.
@@ -33,6 +34,31 @@ func (s *Snapshot) Map() map[string]any {
 		}
 	}
 	m["latency"] = lat
+	if len(s.ServeShards) > 0 {
+		rows := make([]map[string]any, 0, len(s.ServeShards))
+		for _, r := range s.ServeShards {
+			rows = append(rows, map[string]any{
+				"shard":    r.Shard,
+				"queries":  r.Queries,
+				"errors":   r.Errors,
+				"inflight": r.InFlight,
+				"mean_ns":  uint64(r.Latency.Mean()),
+				"p99_ns":   uint64(r.Latency.Quantile(0.99)),
+			})
+		}
+		m["serve_shards"] = rows
+	}
+	if len(s.ServeExemplars) > 0 {
+		exs := make([]map[string]any, 0, len(s.ServeExemplars))
+		for _, ex := range s.ServeExemplars {
+			exs = append(exs, map[string]any{
+				"bucket":   ex.Bucket,
+				"trace_id": fmt.Sprintf("%016x", ex.TraceID),
+				"dur_ns":   uint64(ex.Dur),
+			})
+		}
+		m["serve_exemplars"] = exs
+	}
 	kernels := make([][3]uint64, 0, len(s.Kernels))
 	for _, kb := range s.Kernels {
 		kernels = append(kernels, [3]uint64{uint64(kb.SizeA), uint64(kb.SizeB), kb.Count})

@@ -63,6 +63,11 @@ var promCounters = [NumCounters]promSeries{
 	CtrServeQueueExit:          {"fesia_serve_queue_events_total", `{event="exit"}`, ""},
 	CtrServeSwaps:              {"fesia_serve_swaps_total", `{outcome="ok"}`, "Hot corpus snapshot swaps, by outcome."},
 	CtrServeSwapErrors:         {"fesia_serve_swaps_total", `{outcome="error"}`, ""},
+	CtrServeRejQueueFull:       {"fesia_serve_rejections_total", `{reason="queue_full"}`, "Admission-queue rejections by overload flavor (the shed flavor is fesia_serve_requests_total{outcome=\"shed\"})."},
+	CtrServeRejQueueWait:       {"fesia_serve_rejections_total", `{reason="queue_wait"}`, ""},
+	CtrTraceSampled:            {"fesia_trace_captured_total", `{reason="sampled"}`, "Queries retained by the tracing layer, by capture reason."},
+	CtrTraceSlow:               {"fesia_trace_captured_total", `{reason="slow"}`, ""},
+	CtrTraceForced:             {"fesia_trace_captured_total", `{reason="forced"}`, ""},
 }
 
 // WritePrometheus renders a snapshot in the Prometheus text exposition format
@@ -114,6 +119,69 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 	// Serving-tier queue-depth gauge, derived from the enter/exit counter pair.
 	if _, err := fmt.Fprintf(w, "# HELP fesia_serve_queue_depth Requests currently waiting in the admission queue.\n# TYPE fesia_serve_queue_depth gauge\nfesia_serve_queue_depth %d\n", s.ServeQueueDepth()); err != nil {
 		return err
+	}
+
+	// Per-shard serving rows (slots merged away): counts, the in-flight
+	// gauge, and latency sum/count plus a p99 gauge per shard — enough to
+	// spot a straggler shard on a dashboard without tracing enabled.
+	if len(s.ServeShards) > 0 {
+		if _, err := fmt.Fprintf(w, "# HELP fesia_serve_shard_queries_total Scatter parts completed, by document shard.\n# TYPE fesia_serve_shard_queries_total counter\n"); err != nil {
+			return err
+		}
+		for _, r := range s.ServeShards {
+			if _, err := fmt.Fprintf(w, "fesia_serve_shard_queries_total{shard=\"%d\"} %d\n", r.Shard, r.Queries); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# HELP fesia_serve_shard_errors_total Scatter parts that returned an error, by document shard.\n# TYPE fesia_serve_shard_errors_total counter\n"); err != nil {
+			return err
+		}
+		for _, r := range s.ServeShards {
+			if _, err := fmt.Fprintf(w, "fesia_serve_shard_errors_total{shard=\"%d\"} %d\n", r.Shard, r.Errors); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# HELP fesia_serve_shard_inflight Scatter parts currently executing, by document shard.\n# TYPE fesia_serve_shard_inflight gauge\n"); err != nil {
+			return err
+		}
+		for _, r := range s.ServeShards {
+			if _, err := fmt.Fprintf(w, "fesia_serve_shard_inflight{shard=\"%d\"} %d\n", r.Shard, r.InFlight); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# HELP fesia_serve_shard_latency_seconds_sum Total scatter-part latency, by document shard.\n# TYPE fesia_serve_shard_latency_seconds_sum counter\n"); err != nil {
+			return err
+		}
+		for _, r := range s.ServeShards {
+			if _, err := fmt.Fprintf(w, "fesia_serve_shard_latency_seconds_sum{shard=\"%d\"} %g\n", r.Shard, float64(r.Latency.SumNanos)/1e9); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# HELP fesia_serve_shard_p99_seconds Upper-bound p99 of scatter-part latency, by document shard.\n# TYPE fesia_serve_shard_p99_seconds gauge\n"); err != nil {
+			return err
+		}
+		for _, r := range s.ServeShards {
+			if _, err := fmt.Fprintf(w, "fesia_serve_shard_p99_seconds{shard=\"%d\"} %g\n", r.Shard, r.Latency.Quantile(0.99).Seconds()); err != nil {
+				return err
+			}
+		}
+	}
+
+	// LatServe exemplars: one recent retained trace ID per occupied latency
+	// bucket, the histogram-to-trace pivot. Exported as a labelled gauge (a
+	// valid 0.0.4 family) rather than OpenMetrics inline exemplars, so the
+	// hand-rolled text format stays parseable by classic scrapers.
+	if len(s.ServeExemplars) > 0 {
+		if _, err := fmt.Fprintf(w, "# HELP fesia_serve_latency_exemplar Recent retained trace per serve-latency bucket; value is that trace's latency in seconds.\n# TYPE fesia_serve_latency_exemplar gauge\n"); err != nil {
+			return err
+		}
+		for _, ex := range s.ServeExemplars {
+			le := float64(uint64(1)<<uint(ex.Bucket)) / 1e9
+			if _, err := fmt.Fprintf(w, "fesia_serve_latency_exemplar{le=%q,trace_id=\"%016x\"} %g\n",
+				strconv.FormatFloat(le, 'g', -1, 64), ex.TraceID, ex.Dur.Seconds()); err != nil {
+				return err
+			}
+		}
 	}
 
 	// Latency histograms.

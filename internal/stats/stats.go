@@ -119,6 +119,21 @@ const (
 	CtrServeSwaps      // hot corpus swaps completed (pointer flipped, old drained)
 	CtrServeSwapErrors // swaps aborted with the old corpus left serving
 
+	// Overload rejections broken out by flavor, so dashboards can tell a
+	// depth-bounded queue (queue_full: burst arrival) from a time-bounded one
+	// (queue_wait: sustained slowness) without parsing error bodies. The
+	// shed flavor keeps its own CtrServeShed counter above; CtrServeRejected
+	// stays the queue-side aggregate.
+	CtrServeRejQueueFull // rejections with reason queue_full
+	CtrServeRejQueueWait // rejections with reason queue_wait
+
+	// Query tracing (internal/trace): retained traces by capture reason —
+	// head-sampled 1-in-N, tail-captured past the slow threshold, or forced
+	// by a client's X-Fesia-Trace header.
+	CtrTraceSampled
+	CtrTraceSlow
+	CtrTraceForced
+
 	NumCounters // number of counters; keep last
 )
 
@@ -170,6 +185,11 @@ var counterNames = [NumCounters]string{
 	CtrServeQueueExit:          "serve_queue_exit",
 	CtrServeSwaps:              "serve_swaps",
 	CtrServeSwapErrors:         "serve_swap_errors",
+	CtrServeRejQueueFull:       "serve_rejected_queue_full",
+	CtrServeRejQueueWait:       "serve_rejected_queue_wait",
+	CtrTraceSampled:            "trace_sampled",
+	CtrTraceSlow:               "trace_slow",
+	CtrTraceForced:             "trace_forced",
 }
 
 // Name returns the counter's stable external name.
@@ -290,7 +310,27 @@ type Sink struct {
 	mu     sync.Mutex
 	shards []*Shard
 	multi  Shard // shared multi-writer shard (real atomic adds)
+
+	// Optional serving-tier attachments, registered by internal/serve: the
+	// per-(shard × slot) serve matrix and the tracing layer's latency
+	// exemplars. Atomic pointers so registration never races a snapshot;
+	// when several tiers share one sink, the last registration wins.
+	serveMatrix    atomic.Pointer[ServeMatrix]
+	serveExemplars atomic.Pointer[ExemplarStore]
 }
+
+// SetServeMatrix attaches a per-shard serving-metrics matrix; its rows ride
+// along in every Snapshot and in the Prometheus/expvar output.
+func (k *Sink) SetServeMatrix(m *ServeMatrix) { k.serveMatrix.Store(m) }
+
+// ServeMatrix returns the attached matrix, or nil.
+func (k *Sink) ServeMatrix() *ServeMatrix { return k.serveMatrix.Load() }
+
+// SetServeExemplars attaches the tracing layer's LatServe exemplar store.
+func (k *Sink) SetServeExemplars(x *ExemplarStore) { k.serveExemplars.Store(x) }
+
+// ServeExemplars returns the attached exemplar store, or nil.
+func (k *Sink) ServeExemplars() *ExemplarStore { return k.serveExemplars.Load() }
 
 // New returns an empty Sink.
 func New() *Sink { return &Sink{} }
@@ -387,6 +427,13 @@ type Snapshot struct {
 	Latencies [NumLatHists]LatencyStats
 	Kernels   []KernelBucket
 	NumShards int // single-writer shards merged (excludes the shared shard)
+
+	// ServeShards is the per-document-shard serving view (one row per shard,
+	// slots merged away); empty unless a ServeMatrix is attached to the sink.
+	ServeShards []ServeShardStats
+	// ServeExemplars links LatServe buckets to recent retained trace IDs;
+	// empty unless the tracing layer attached an ExemplarStore.
+	ServeExemplars []LatencyExemplar
 }
 
 // Counter returns one merged counter value.
@@ -457,6 +504,12 @@ func (k *Sink) Snapshot() Snapshot {
 		for j := i; j > 0 && snap.Kernels[j].Count > snap.Kernels[j-1].Count; j-- {
 			snap.Kernels[j], snap.Kernels[j-1] = snap.Kernels[j-1], snap.Kernels[j]
 		}
+	}
+	if m := k.serveMatrix.Load(); m != nil {
+		snap.ServeShards = m.Snapshot()
+	}
+	if x := k.serveExemplars.Load(); x != nil {
+		snap.ServeExemplars = x.Snapshot()
 	}
 	return snap
 }

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Admin endpoints, matching the stats package's hand-rolled style: plain
+// net/http + encoding/json, no dependencies. /debug/traces merges the rings
+// lazily into whole traces; /debug/slow renders the slow-query log.
+
+func formatID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// TraceJSON is one assembled trace on /debug/traces.
+type TraceJSON struct {
+	TraceID string `json:"trace_id"`
+	Spans   []Span `json:"spans"`
+}
+
+// Traces merges every ring's current contents into whole traces, most
+// recent first (trace IDs are monotonic), keeping at most limit traces
+// (limit <= 0 means all still-assembled traces). A trace whose records have
+// partially aged out of a ring is returned with the records that remain.
+func (t *Tracer) Traces(limit int) []TraceJSON {
+	byID := make(map[uint64][]Span)
+	for i := range t.rings {
+		t.rings[i].snapshot(func(id uint64, shard int, rec Rec) {
+			byID[id] = append(byID[id], renderSpan(rec, shard))
+		})
+	}
+	ids := make([]uint64, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	// Sort descending (insertion sort; bounded by ring capacity).
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] > ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+	}
+	out := make([]TraceJSON, 0, len(ids))
+	for _, id := range ids {
+		spans := byID[id]
+		sortSpans(spans)
+		out = append(out, TraceJSON{TraceID: formatID(id), Spans: spans})
+	}
+	return out
+}
+
+// Handler serves /debug/traces: recent retained traces as JSON, most recent
+// first. ?n= bounds the trace count (default 32).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		limit := 32
+		if s := r.URL.Query().Get("n"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				limit = n
+			}
+		}
+		writeJSON(w, map[string]any{
+			"sample_n":     t.SampleN(),
+			"slow_ns":      uint64(t.SlowThreshold()),
+			"traces_total": t.idGen.Load(),
+			"traces":       t.Traces(limit),
+		})
+	})
+}
+
+// SlowHandler serves /debug/slow: the bounded slow-query log as JSON, most
+// recent first, each entry with its full span breakdown.
+func (t *Tracer) SlowHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"slow_ns": uint64(t.SlowThreshold()),
+			"slow":    t.SlowQueries(),
+		})
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

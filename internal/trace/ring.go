@@ -1,0 +1,91 @@
+package trace
+
+import "sync/atomic"
+
+// Lock-free trace-record rings. Each (row × slot) pair owns one ring written
+// exclusively by whichever goroutine holds that admission slot at commit
+// time — the same single-writer contract as the staging cells — so writes
+// need no locks. Readers (the /debug/traces handler) run concurrently with
+// writers; every word is accessed atomically, and a reservation cursor
+// advanced *before* a slot's words are rewritten lets a reader detect and
+// discard records it caught mid-overwrite, seqlock-style:
+//
+//	writer: head = n+1; store 6 words of record n; tail = n+1
+//	reader: load tail; load record idx < tail; valid iff head <= idx + cap
+//
+// A record index below tail is fully committed; if head has moved past
+// idx+cap the slot was reserved for rewrite while the reader was inside it,
+// so the read may be torn and is dropped. Rings hold the most recent
+// cap records per (row × slot) — retention is bounded by design.
+
+// recWords is the packed record size: id, kind|arm|shard|flags, start, dur,
+// v1, v2.
+const recWords = 6
+
+type ring struct {
+	words []uint64
+	cap   uint64
+	head  atomic.Uint64 // records reserved (advanced before the words)
+	tail  atomic.Uint64 // records committed (advanced after)
+}
+
+func (r *ring) init(capRecs int) {
+	r.cap = uint64(capRecs)
+	r.words = make([]uint64, capRecs*recWords)
+}
+
+// packMeta packs a record's identity word: kind(8) | arm(8) | shard(16,
+// two's complement; -1 = tier row) | flags(8).
+func packMeta(rec Rec, shard int) uint64 {
+	return uint64(rec.Kind) |
+		uint64(rec.Arm)<<8 |
+		uint64(uint16(int16(shard)))<<16 |
+		uint64(rec.Flags)<<32
+}
+
+func unpackMeta(m uint64) (kind Kind, arm uint8, shard int, flags uint8) {
+	return Kind(m), uint8(m >> 8), int(int16(uint16(m >> 16))), uint8(m >> 32)
+}
+
+// publish appends the records stamped with trace id and shard. Single-writer
+// (the committing slot owner); allocation-free.
+func (r *ring) publish(id uint64, shard int, recs []Rec) {
+	cur := r.tail.Load()
+	for i := range recs {
+		r.head.Store(cur + 1)
+		w := r.words[(cur%r.cap)*recWords:]
+		atomic.StoreUint64(&w[0], id)
+		atomic.StoreUint64(&w[1], packMeta(recs[i], shard))
+		atomic.StoreUint64(&w[2], recs[i].Start)
+		atomic.StoreUint64(&w[3], recs[i].Dur)
+		atomic.StoreUint64(&w[4], recs[i].V1)
+		atomic.StoreUint64(&w[5], recs[i].V2)
+		cur++
+		r.tail.Store(cur)
+	}
+}
+
+// snapshot streams the ring's current contents, oldest first, skipping
+// records overwritten while being read. Safe concurrently with publish.
+func (r *ring) snapshot(emit func(id uint64, shard int, rec Rec)) {
+	t := r.tail.Load()
+	lo := uint64(0)
+	if t > r.cap {
+		lo = t - r.cap
+	}
+	for idx := lo; idx < t; idx++ {
+		w := r.words[(idx%r.cap)*recWords:]
+		id := atomic.LoadUint64(&w[0])
+		meta := atomic.LoadUint64(&w[1])
+		start := atomic.LoadUint64(&w[2])
+		dur := atomic.LoadUint64(&w[3])
+		v1 := atomic.LoadUint64(&w[4])
+		v2 := atomic.LoadUint64(&w[5])
+		if r.head.Load() > idx+r.cap {
+			continue // lapped mid-read; words may be torn
+		}
+		kind, arm, shard, flags := unpackMeta(meta)
+		emit(id, shard, Rec{Kind: kind, Arm: arm, Flags: flags,
+			Start: start, Dur: dur, V1: v1, V2: v2})
+	}
+}

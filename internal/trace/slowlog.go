@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// The slow-query log: a bounded ring of fully-captured traces for every
+// query retained by tail capture or forced capture. Unlike the rings —
+// which interleave many queries and age out record by record — a slow-log
+// entry holds one query's complete span set, so /debug/slow can show "the
+// last 32 slow queries, each with its full breakdown" long after the rings
+// have churned past them.
+//
+// Pushes happen only for slow or forced queries, so a mutex is fine here:
+// the lock is never touched on the fast path, and all entry storage is
+// pre-allocated at construction — a push copies records into place and
+// allocates nothing.
+
+// slowEntryRec is one record of a slow-log entry, with the shard stamped in
+// (the staging cells carry it implicitly by row).
+type slowEntryRec struct {
+	shard int16
+	rec   Rec
+}
+
+type slowEntry struct {
+	id     uint64
+	seq    uint64 // push order, for most-recent-first rendering
+	when   time.Time
+	dur    time.Duration
+	reason Reason
+	trunc  bool
+	n      int
+	recs   []slowEntryRec // cap fixed at init
+}
+
+type slowLog struct {
+	mu      sync.Mutex
+	entries []slowEntry
+	next    int    // ring position of the next push
+	total   uint64 // entries ever pushed
+}
+
+func (l *slowLog) init(capEntries, recsPerEntry int) {
+	l.entries = make([]slowEntry, capEntries)
+	for i := range l.entries {
+		l.entries[i].recs = make([]slowEntryRec, recsPerEntry)
+	}
+}
+
+// push captures the slot's staged rows into the log. Called by the slot
+// owner from Finish; allocation-free (copies into pre-sized storage).
+func (l *slowLog) push(t *Tracer, slot int, v Verdict, d time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := &l.entries[l.next]
+	l.next = (l.next + 1) % len(l.entries)
+	l.total++
+	e.id = v.ID
+	e.seq = l.total
+	e.when = time.Now()
+	e.dur = d
+	e.reason = v.Reason
+	e.trunc = false
+	e.n = 0
+	for row := 0; row < t.rows; row++ {
+		c := t.cell(row, slot)
+		if c.trunc {
+			e.trunc = true
+		}
+		for i := 0; i < c.n && e.n < len(e.recs); i++ {
+			e.recs[e.n] = slowEntryRec{shard: int16(row - 1), rec: c.recs[i]}
+			e.n++
+		}
+	}
+}
+
+// SlowEntry is one slow-log entry rendered for JSON output.
+type SlowEntry struct {
+	TraceID      string `json:"trace_id"`
+	CapturedUnix int64  `json:"captured_unix_ns"`
+	DurNs        uint64 `json:"dur_ns"`
+	Reason       string `json:"reason"`
+	Truncated    bool   `json:"truncated,omitempty"`
+	Spans        []Span `json:"spans"`
+}
+
+// SlowQueries returns the slow log's entries, most recent first. Allocates;
+// admin-endpoint and test path only.
+func (t *Tracer) SlowQueries() []SlowEntry {
+	l := &t.log
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	live := make([]*slowEntry, 0, len(l.entries))
+	for i := range l.entries {
+		if l.entries[i].id != 0 {
+			live = append(live, &l.entries[i])
+		}
+	}
+	// Sort by seq descending (insertion sort; the log is small).
+	for i := 1; i < len(live); i++ {
+		for j := i; j > 0 && live[j].seq > live[j-1].seq; j-- {
+			live[j], live[j-1] = live[j-1], live[j]
+		}
+	}
+	out := make([]SlowEntry, 0, len(live))
+	for _, e := range live {
+		se := SlowEntry{
+			TraceID:      formatID(e.id),
+			CapturedUnix: e.when.UnixNano(),
+			DurNs:        uint64(e.dur),
+			Reason:       e.reason.String(),
+			Truncated:    e.trunc,
+			Spans:        make([]Span, 0, e.n),
+		}
+		for i := 0; i < e.n; i++ {
+			se.Spans = append(se.Spans, renderSpan(e.recs[i].rec, int(e.recs[i].shard)))
+		}
+		sortSpans(se.Spans)
+		out = append(out, se)
+	}
+	return out
+}

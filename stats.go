@@ -71,6 +71,14 @@ const (
 	CtrServeSwaps      = stats.CtrServeSwaps
 	CtrServeSwapErrors = stats.CtrServeSwapErrors
 
+	// Per-flavor overload rejections (queue depth vs. wait budget; shedding
+	// keeps CtrServeShed) and trace-retention tallies by reason.
+	CtrServeRejQueueFull = stats.CtrServeRejQueueFull
+	CtrServeRejQueueWait = stats.CtrServeRejQueueWait
+	CtrTraceSampled      = stats.CtrTraceSampled
+	CtrTraceSlow         = stats.CtrTraceSlow
+	CtrTraceForced       = stats.CtrTraceForced
+
 	// Planner decision counters: one per (dispatch point, chosen strategy),
 	// plus the exploration tally and the count of decisions where the learned
 	// model disagreed with the static heuristic.
