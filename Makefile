@@ -114,14 +114,17 @@ ablation:
 	$(GO) test -bench=Ablation -benchmem .
 
 # Short differential fuzzing session for the intersection strategies (both
-# segmented-only and the cross-representation dispatch matrix) and the
-# snapshot deserializers.
+# segmented-only and the cross-representation dispatch matrix), the snapshot
+# deserializers, and the ISA-ladder parity targets (every tier vs pure Go,
+# including forced-AVX2 on AVX-512 hardware).
 fuzz:
 	$(GO) test ./internal/core -fuzz=FuzzIntersect -fuzztime=30s
 	$(GO) test ./internal/core -fuzz=FuzzHybridIntersect -fuzztime=30s
 	$(GO) test ./internal/core -fuzz=FuzzReadSet -fuzztime=30s
 	$(GO) test ./internal/core -fuzz=FuzzReadCorpus -fuzztime=30s
 	$(GO) test ./internal/kernels -fuzz=FuzzTableCount -fuzztime=30s
+	$(GO) test ./internal/simd -fuzz=FuzzIntersectSmallParity -fuzztime=30s
+	$(GO) test ./internal/simd -fuzz=FuzzProbeStageParity -fuzztime=30s
 
 # CI-sized fuzz smoke: every fuzz target for 30s each (same set as `fuzz`;
 # kept as a separate name so CI and local long runs can diverge later).

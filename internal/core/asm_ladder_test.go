@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fesia/internal/kernels"
+	"fesia/internal/simd"
+)
+
+// runTiers runs f once per available dispatch tier — scalar, avx2 (which on
+// AVX-512 hardware is the forced-AVX2 tier), avx512 — with the jump tables
+// patched, and returns the tier names alongside the results so callers can
+// require every tier to agree with the scalar reference. Dispatch state is
+// restored afterwards.
+func runTiers(t *testing.T, f func() any) (names []string, results []any) {
+	t.Helper()
+	prevK := kernels.UseAsmKernels(true)
+	prevAsm := simd.SetAsmEnabled(false)
+	prevAvx512 := simd.SetAvx512Enabled(false)
+	defer func() {
+		simd.SetAvx512Enabled(prevAvx512)
+		simd.SetAsmEnabled(prevAsm)
+		kernels.UseAsmKernels(prevK)
+	}()
+	names = append(names, "scalar")
+	results = append(results, f())
+	if simd.HasAsm() {
+		simd.SetAsmEnabled(true)
+		names = append(names, "avx2")
+		results = append(results, f())
+	}
+	if simd.HasAVX512() {
+		simd.SetAvx512Enabled(true)
+		names = append(names, "avx512")
+		results = append(results, f())
+	}
+	return names, results
+}
+
+// TestExecutorTierParity drives the executor's query shapes through every
+// tier of the ladder on the same inputs and requires identical results —
+// including the materializing paths (Intersect, IntersectManyInto, Visit)
+// that the AVX-512 rung now serves with compress-store kernels, and the
+// hash-probe paths served by the gathered stage. Scale 1 shrinks the bitmap
+// so segments grow into the 9..16 kernel range only the AVX-512 register
+// covers.
+func TestExecutorTierParity(t *testing.T) {
+	if !simd.HasAsm() {
+		t.Skip("assembly backend not available")
+	}
+	rng := rand.New(rand.NewSource(41))
+	e := NewExecutor()
+	check := func(op string, names []string, results []any) {
+		t.Helper()
+		for i := 1; i < len(results); i++ {
+			if ra, ok := results[i].([]uint32); ok {
+				rs := results[0].([]uint32)
+				if len(ra) != len(rs) {
+					t.Fatalf("%s: %s n=%d scalar n=%d", op, names[i], len(ra), len(rs))
+				}
+				for j := range ra {
+					if ra[j] != rs[j] {
+						t.Fatalf("%s: %s elem %d = %d, scalar = %d", op, names[i], j, ra[j], rs[j])
+					}
+				}
+				continue
+			}
+			if results[i] != results[0] {
+				t.Fatalf("%s: %s = %v, scalar = %v", op, names[i], results[i], results[0])
+			}
+		}
+	}
+	cfgs := []Config{
+		DefaultConfig(),
+		{Scale: 1}, // big segments: 9..16 sizes hit the zmm-only entries
+		{SegBits: 16},
+		{Width: simd.WidthAVX512},
+	}
+	shapes := []struct{ na, nb int }{
+		{2500, 2100},  // merge, similar sizes
+		{6000, 250},   // hash, skewed: the gathered probe path
+		{30000, 8000}, // bigger bitmaps
+	}
+	for _, cfg := range cfgs {
+		for _, sh := range shapes {
+			a := MustNewSet(randSet(rng, sh.na, 80000), cfg)
+			b := MustNewSet(randSet(rng, sh.nb, 80000), cfg)
+			c := MustNewSet(randSet(rng, sh.nb/2+1, 80000), cfg)
+
+			names, res := runTiers(t, func() any { return e.Count(a, b) })
+			check("Count", names, res)
+			names, res = runTiers(t, func() any { return CountMerge(a, b) })
+			check("CountMerge", names, res)
+			names, res = runTiers(t, func() any { return CountHash(a, b) })
+			check("CountHash", names, res)
+
+			dst := make([]uint32, min(a.Len(), b.Len()))
+			names, res = runTiers(t, func() any {
+				n := e.Intersect(dst, a, b)
+				return append([]uint32(nil), dst[:n]...)
+			})
+			check("Intersect", names, res)
+			names, res = runTiers(t, func() any {
+				n := IntersectHash(dst, a, b)
+				return append([]uint32(nil), dst[:n]...)
+			})
+			check("IntersectHash", names, res)
+			names, res = runTiers(t, func() any {
+				var got []uint32
+				e.Visit(a, b, func(x uint32) { got = append(got, x) })
+				return got
+			})
+			check("Visit", names, res)
+
+			cands := []*Set{b, c, a}
+			names, res = runTiers(t, func() any {
+				counts := make([]int, len(cands))
+				buf := make([]uint32, a.Len()*3)
+				total := e.IntersectManyInto(buf, counts, a, cands)
+				return append([]uint32(nil), buf[:total]...)
+			})
+			check("IntersectManyInto", names, res)
+		}
+	}
+}
+
+// TestMaterializeZeroAlloc asserts the 0 allocs/op warm guarantee holds for
+// the new materialize and gathered-probe paths with the full ladder active:
+// the compress-store kernels write straight into the caller's dst and the
+// gather stage uses stack out-buffers only.
+func TestMaterializeZeroAlloc(t *testing.T) {
+	if !simd.HasAVX512() {
+		t.Skip("AVX-512 rung not available")
+	}
+	prevK := kernels.UseAsmKernels(true)
+	prevAsm := simd.SetAsmEnabled(true)
+	prevAvx512 := simd.SetAvx512Enabled(true)
+	defer func() {
+		simd.SetAvx512Enabled(prevAvx512)
+		simd.SetAsmEnabled(prevAsm)
+		kernels.UseAsmKernels(prevK)
+	}()
+	rng := rand.New(rand.NewSource(42))
+	cfg := Config{Scale: 1} // big segments: exercises the 16-lane kernels
+	a := MustNewSet(randSet(rng, 20000, 300000), cfg)
+	b := MustNewSet(randSet(rng, 15000, 300000), cfg)
+	s := MustNewSet(randSet(rng, 900, 300000), cfg)
+	e := NewExecutor()
+	dst := make([]uint32, min(a.Len(), b.Len()))
+	cands := []*Set{b, s}
+	counts := make([]int, len(cands))
+	buf := make([]uint32, a.Len()*2)
+	// Warm every buffer.
+	e.Intersect(dst, a, b)
+	e.Intersect(dst, a, s)
+	e.IntersectManyInto(buf, counts, a, cands)
+	e.Count(a, s)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Intersect/merge", func() { e.Intersect(dst, a, b) }},
+		{"Intersect/hash", func() { e.Intersect(dst, a, s) }},
+		{"IntersectManyInto", func() { e.IntersectManyInto(buf, counts, a, cands) }},
+		{"Count/hash-gather", func() { e.Count(a, s) }},
+	}
+	for _, c := range cases {
+		if avg := testing.AllocsPerRun(20, c.fn); avg != 0 {
+			t.Errorf("%s: %v allocs/op with the AVX-512 rung, want 0", c.name, avg)
+		}
+	}
+}

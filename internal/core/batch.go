@@ -261,6 +261,9 @@ type probeRec struct{ x, oa, oaEnd uint32 }
 // non-nil, receives the probe/survivor counters at block granularity (the
 // block compaction rate of the staged probe).
 func hashProbeStaged(small, large *Set, stage []probeRec, dst []uint32, emit Visitor, st *stats.Shard) (int, uint32) {
+	if simd.GatherProbeActive() && small.n >= 16 && large.bm.Bits() <= gatherProbeMaxBits {
+		return hashProbeStagedGather(small, large, stage, dst, emit, st)
+	}
 	lb := large.bm
 	words := lb.Words()
 	mBits := lb.Bits()
@@ -293,6 +296,69 @@ func hashProbeStaged(small, large *Set, stage []probeRec, dst []uint32, emit Vis
 			touch += uint64(reord[stage[i].oa])
 		}
 		// Scan phase over the staged (and now in-flight) segment lists.
+		n = scanStage(stage[:ns], reord, dst, emit, n)
+	}
+	if st != nil {
+		st.Add(stats.CtrHashProbes, uint64(len(elems)))
+		st.Add(stats.CtrHashSurvivors, uint64(survivors))
+	}
+	return n, uint32(touch)
+}
+
+// hashProbeStagedGather is hashProbeStaged with the staging phase run
+// through the AVX-512 gathered probe: hash, bitmap gather and bit test all
+// happen in zmm lanes (simd.ProbeStage), and the stage records are then
+// built from the compress-stored survivors only — the segment-bound loads
+// the scalar staging phase issues for *every* probe happen just for the
+// survivors here. The touch pass and scan phase are unchanged, so match
+// order and output are identical. The out arrays live on the stack
+// (ProbeStage's pointers do not escape), keeping the warm path
+// allocation-free.
+func hashProbeStagedGather(small, large *Set, stage []probeRec, dst []uint32, emit Visitor, st *stats.Shard) (int, uint32) {
+	lb := large.bm
+	words := lb.Words()
+	mBits := lb.Bits()
+	segShift := uint(simd.Tzcnt32(uint32(lb.SegBits()))) // log2(segBits)
+	offs := large.offsets
+	reord := large.reordered
+	hasher := large.hasher
+	seed := hasher.Seed()
+	elems := small.reordered
+
+	n := 0
+	survivors := 0
+	var touch uint64
+	var outE, outP [probeBlock]uint32
+	lo := 0
+	for lo+16 <= len(elems) {
+		blk := elems[lo:min(lo+probeBlock, len(elems))]
+		ns, consumed := simd.ProbeStage(blk, words, seed, mBits-1, outE[:], outP[:])
+		lo += consumed
+		survivors += ns
+		for i := 0; i < ns; i++ {
+			seg := int(outP[i]) >> segShift
+			stage[i] = probeRec{outE[i], offs[seg], offs[seg+1]}
+		}
+		for i := range stage[:ns] {
+			touch += uint64(reord[stage[i].oa])
+		}
+		n = scanStage(stage[:ns], reord, dst, emit, n)
+	}
+	// Sub-16 tail: one scalar staging block.
+	if lo < len(elems) {
+		ns := 0
+		for _, x := range elems[lo:] {
+			p := hasher.Pos(x, mBits)
+			hit := int(words[p>>6] >> (p & 63) & 1)
+			seg := int(p) >> segShift
+			oa, oaEnd := offs[seg], offs[seg+1]
+			stage[ns] = probeRec{x, oa, oaEnd}
+			ns += hit
+		}
+		survivors += ns
+		for i := range stage[:ns] {
+			touch += uint64(reord[stage[i].oa])
+		}
 		n = scanStage(stage[:ns], reord, dst, emit, n)
 	}
 	if st != nil {
@@ -370,8 +436,14 @@ func (c *probeCache) fill(q *Set, mBits uint64) {
 // hashProbeBatch routes one batch hash-strategy step: when the query itself
 // is the probing side and big enough to amortize staging, the probe runs on
 // the executor's memoized position cache; otherwise it falls through to the
-// self-hashing staged probe.
+// self-hashing staged probe. On the AVX-512 rung the position cache is
+// skipped entirely: the gathered stage recomputes the hash in zmm lanes for
+// less than the cache's per-element load costs, and folds the bitmap test
+// into the same pass.
 func hashProbeBatch(c *probeCache, q, small, large *Set, stage []probeRec, dst []uint32, emit Visitor, st *stats.Shard) (int, uint32) {
+	if simd.GatherProbeActive() && large.bm.Bits() <= gatherProbeMaxBits {
+		return hashProbeStaged(small, large, stage, dst, emit, st)
+	}
 	if small == q && small.n >= probeBlock {
 		if mBits := large.bm.Bits(); c.bits != mBits {
 			c.fill(q, mBits)

@@ -206,11 +206,107 @@ func hashProbeRange(small, large *Set, lo, hi int, emit Visitor, st *stats.Shard
 	return hashProbeElems(small.reordered[lo:hi], large, nil, emit, st)
 }
 
+// gatherProbeMaxBits is the largest bitmap the gathered AVX-512 probe stage
+// can serve: survivor positions are compress-stored as uint32 lanes. Bitmaps
+// beyond 4 Gbit (64 Gi elements at the paper's scale) fall back to the
+// scalar probe loop.
+const gatherProbeMaxBits = 1 << 32
+
 // hashProbeElems is the probe loop proper, over any sorted element slice —
 // the segmented-set membership kernel shared by the hash strategy and the
 // array×seg entry of the cross-representation dispatch matrix. Matches are
 // appended to dst (when non-nil) and streamed through emit (when non-nil).
+// On the AVX-512 rung the hash+bitmap-test half of the loop runs through the
+// gathered probe stage (simd.ProbeStage) sixteen elements at a time; the
+// surviving segment scans, match order and counters are identical either
+// way.
 func hashProbeElems(elems []uint32, large *Set, dst []uint32, emit Visitor, st *stats.Shard) int {
+	if simd.GatherProbeActive() && len(elems) >= 16 && large.bm.Bits() <= gatherProbeMaxBits {
+		return hashProbeElemsGather(elems, large, dst, emit, st)
+	}
+	return hashProbeElemsScalar(elems, large, dst, emit, st)
+}
+
+// hashProbeElemsGather is hashProbeElems with the probe half vectorized:
+// blocks of up to ProbeStageBlock elements are hashed, bitmap-gathered and
+// bit-tested in zmm lanes, and only the compress-stored survivors reach the
+// segment-scan loop below — which is the same last-segment-cached scan the
+// scalar path runs, reading the survivor's position instead of recomputing
+// it. The out arrays live on the stack (ProbeStage's pointers do not
+// escape), keeping the warm path allocation-free.
+func hashProbeElemsGather(elems []uint32, large *Set, dst []uint32, emit Visitor, st *stats.Shard) int {
+	n := 0
+	survivors := 0
+	lb := large.bm
+	mBits := lb.Bits()
+	words := lb.Words()
+	segShift := uint(simd.Tzcnt32(uint32(lb.SegBits()))) // log2(segBits)
+	offs := large.offsets
+	reord := large.reordered
+	seed := large.hasher.Seed()
+	lastSeg := -1
+	var segList []uint32
+	var outE, outP [simd.ProbeStageBlock]uint32
+	done := 0
+	for done+16 <= len(elems) {
+		blk := elems[done:min(done+simd.ProbeStageBlock, len(elems))]
+		ns, consumed := simd.ProbeStage(blk, words, seed, mBits-1, outE[:], outP[:])
+		done += consumed
+		survivors += ns
+		for i := 0; i < ns; i++ {
+			x := outE[i]
+			if seg := int(outP[i]) >> segShift; seg != lastSeg {
+				lastSeg = seg
+				segList = reord[offs[seg]:offs[seg+1]]
+			}
+			if len(segList) >= containsCutover {
+				if simd.Contains(segList, x) {
+					if dst != nil {
+						dst[n] = x
+					}
+					n++
+					if emit != nil {
+						emit(x)
+					}
+				}
+				continue
+			}
+			for _, v := range segList {
+				if v == x {
+					if dst != nil {
+						dst[n] = x
+					}
+					n++
+					if emit != nil {
+						emit(x)
+					}
+					break
+				}
+				if v > x {
+					break
+				}
+			}
+		}
+	}
+	if st != nil {
+		st.Add(stats.CtrHashProbes, uint64(done))
+		st.Add(stats.CtrHashSurvivors, uint64(survivors))
+	}
+	// Sub-16 tail: the scalar loop finishes the remainder (and adds its own
+	// share of the counters).
+	if done < len(elems) {
+		rest := dst
+		if dst != nil {
+			rest = dst[n:]
+		}
+		n += hashProbeElemsScalar(elems[done:], large, rest, emit, st)
+	}
+	return n
+}
+
+// hashProbeElemsScalar is the scalar probe loop — the reference semantics of
+// hashProbeElems and the only path below the AVX-512 rung.
+func hashProbeElemsScalar(elems []uint32, large *Set, dst []uint32, emit Visitor, st *stats.Shard) int {
 	n := 0
 	survivors := 0
 	lb := large.bm

@@ -1,13 +1,17 @@
 // Package cpuid probes, once at process start, the CPU features the real
-// SIMD backend needs (internal/simd's AVX2 assembly routines). The probe is
-// the runtime-dispatch half of the pattern production bitmap libraries use:
-// hand-written vector kernels selected once at init, with a portable scalar
-// fallback that is the only path on non-amd64 architectures or under the
-// `noasm` build tag.
+// SIMD backend needs (internal/simd's AVX2 and AVX-512 assembly routines).
+// The probe is the runtime-dispatch half of the pattern production bitmap
+// libraries use: hand-written vector kernels selected once at init, with a
+// portable scalar fallback that is the only path on non-amd64 architectures
+// or under the `noasm` build tag.
 //
 // Feature detection follows the Intel SDM rules: a feature is usable only
 // when the CPU reports it AND the OS has enabled the matching register state
-// (OSXSAVE + XCR0 bits 1-2 for the ymm registers AVX2 uses).
+// (OSXSAVE + XCR0 bits 1-2 for the ymm registers AVX2 uses; additionally
+// XCR0 bits 5-7 — opmask, ZMM_Hi256, Hi16_ZMM — for the k-registers and zmm
+// state the AVX-512 routines use). A kernel that leaves ZMM state disabled
+// must not let us advertise AVX-512, or dispatch would fault on the first
+// EVEX instruction.
 package cpuid
 
 // Feature flags, filled by the amd64 init (cpuid_amd64.go) and permanently
@@ -20,16 +24,41 @@ var (
 	HasBMI2 bool
 	// HasPOPCNT reports the POPCNT instruction.
 	HasPOPCNT bool
+
+	// HasAVX512F reports the AVX-512 foundation instructions (zmm, k-masks,
+	// VPCOMPRESSD, VPGATHERDD) with full OS zmm/opmask state support.
+	HasAVX512F bool
+	// HasAVX512VL reports the 128/256-bit EVEX encodings (masked ymm loads).
+	HasAVX512VL bool
+	// HasAVX512CD reports the conflict-detection extension (VPCONFLICTD).
+	HasAVX512CD bool
+	// HasAVX512DQ reports the doubleword/quadword extension (VPMULLQ, which
+	// the gathered splitmix64 hash probe needs).
+	HasAVX512DQ bool
 )
 
-// Backend names the kernel backend the probe selects: "avx2" when the
-// assembly routines are eligible, "scalar" otherwise (non-amd64, the `noasm`
-// build tag, or a CPU/OS without AVX2+BMI2 support). internal/simd re-exports
-// this through its own Backend, which additionally reflects test-time
-// toggling.
+// AVX512 reports whether every AVX-512 subset the assembly routines use is
+// present and OS-enabled. The four flags are only ever set together with the
+// XCR0 opmask/ZMM state check, so this is the single eligibility predicate
+// for the top rung of the ladder.
+func AVX512() bool {
+	return HasAVX512F && HasAVX512VL && HasAVX512CD && HasAVX512DQ
+}
+
+// Backend names the kernel backend the probe selects, as a ladder:
+// "avx512" when the AVX-512 routines are eligible, "avx2" when only the
+// AVX2 routines are, "scalar" otherwise (non-amd64, the `noasm` build tag,
+// or a CPU/OS without AVX2+BMI2 support). The FESIA_DISABLE_AVX512
+// environment escape hatch is applied here at probe time, so cpuid and
+// internal/simd always agree on the static capability. internal/simd
+// re-exports this through its own Backend, which additionally reflects
+// test-time toggling.
 func Backend() string {
-	if HasAVX2 && HasBMI2 && HasPOPCNT {
-		return "avx2"
+	if !HasAVX2 || !HasBMI2 || !HasPOPCNT {
+		return "scalar"
 	}
-	return "scalar"
+	if AVX512() {
+		return "avx512"
+	}
+	return "avx2"
 }

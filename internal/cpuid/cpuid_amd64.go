@@ -2,6 +2,8 @@
 
 package cpuid
 
+import "os"
+
 // cpuid executes the CPUID instruction for (leaf, subleaf).
 func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
 
@@ -30,4 +32,23 @@ func init() {
 	_, ebx7, _, _ := cpuid(7, 0)
 	HasAVX2 = ebx7&(1<<5) != 0
 	HasBMI2 = ebx7&(1<<8) != 0
+
+	// AVX-512 eligibility needs more than the CPUID feature leaves: the OS
+	// must have enabled the opmask (k0-k7), ZMM_Hi256 and Hi16_ZMM state
+	// components in XCR0 (bits 5, 6, 7) on top of SSE+AVX, or the EVEX
+	// routines would #UD/#NM at runtime even though CPUID advertises them.
+	const xcr0AVX512 = 0x6 | 1<<5 | 1<<6 | 1<<7 // SSE|AVX|opmask|ZMM_Hi256|Hi16_ZMM
+	if xcr0&xcr0AVX512 != xcr0AVX512 {
+		return
+	}
+	// FESIA_DISABLE_AVX512 (any non-empty value) caps the ladder at AVX2,
+	// mirroring the -tags=noasm hatch one rung down. Applied at probe time
+	// so every consumer of these flags sees the same capability.
+	if os.Getenv("FESIA_DISABLE_AVX512") != "" {
+		return
+	}
+	HasAVX512F = ebx7&(1<<16) != 0
+	HasAVX512DQ = ebx7&(1<<17) != 0
+	HasAVX512CD = ebx7&(1<<28) != 0
+	HasAVX512VL = ebx7&(1<<31) != 0
 }

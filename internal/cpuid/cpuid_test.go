@@ -7,14 +7,32 @@ import (
 
 func TestBackendConsistent(t *testing.T) {
 	b := Backend()
-	if b != "avx2" && b != "scalar" {
-		t.Fatalf("Backend() = %q, want avx2 or scalar", b)
+	if b != "avx512" && b != "avx2" && b != "scalar" {
+		t.Fatalf("Backend() = %q, want avx512, avx2 or scalar", b)
 	}
-	if b == "avx2" && !(HasAVX2 && HasBMI2 && HasPOPCNT) {
-		t.Fatalf("Backend avx2 but flags AVX2=%v BMI2=%v POPCNT=%v", HasAVX2, HasBMI2, HasPOPCNT)
+	if (b == "avx2" || b == "avx512") && !(HasAVX2 && HasBMI2 && HasPOPCNT) {
+		t.Fatalf("Backend %s but flags AVX2=%v BMI2=%v POPCNT=%v", b, HasAVX2, HasBMI2, HasPOPCNT)
+	}
+	if b == "avx512" && !AVX512() {
+		t.Fatalf("Backend avx512 but AVX512() false (F=%v VL=%v CD=%v DQ=%v)",
+			HasAVX512F, HasAVX512VL, HasAVX512CD, HasAVX512DQ)
+	}
+	if b != "avx512" && AVX512() && HasAVX2 && HasBMI2 && HasPOPCNT {
+		t.Fatalf("AVX512() true with full AVX2 rung but Backend() = %q", b)
 	}
 	if runtime.GOARCH != "amd64" && b != "scalar" {
 		t.Fatalf("non-amd64 must report scalar, got %q", b)
 	}
-	t.Logf("backend=%s AVX2=%v BMI2=%v POPCNT=%v", b, HasAVX2, HasBMI2, HasPOPCNT)
+	t.Logf("backend=%s AVX2=%v BMI2=%v POPCNT=%v AVX512 F=%v VL=%v CD=%v DQ=%v",
+		b, HasAVX2, HasBMI2, HasPOPCNT, HasAVX512F, HasAVX512VL, HasAVX512CD, HasAVX512DQ)
+}
+
+// TestAVX512FlagsLadder pins the ladder invariant: the AVX-512 flags are only
+// ever set together with the lower rung's features (they are gated on a
+// superset of the same XCR0 state), so the rungs never fork.
+func TestAVX512FlagsLadder(t *testing.T) {
+	anyAVX512 := HasAVX512F || HasAVX512VL || HasAVX512CD || HasAVX512DQ
+	if anyAVX512 && !HasAVX2 {
+		t.Fatal("AVX-512 flags set without AVX2: XCR0 gating is broken")
+	}
 }

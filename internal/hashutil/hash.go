@@ -39,6 +39,11 @@ func (h Hasher) Hash(x uint32) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Seed returns the salt, so vectorized probe stages (internal/simd's gathered
+// AVX-512 hash probe) can replicate the splitmix64 mix lane-wise. The asm
+// routine must match Hash bit for bit; the parity fuzz tests assert it.
+func (h Hasher) Seed() uint64 { return h.seed }
+
 // Pos returns the bitmap position of x in a bitmap of m bits. m must be a
 // power of two.
 func (h Hasher) Pos(x uint32, m uint64) uint64 {

@@ -2,22 +2,39 @@ package kernels
 
 import "fesia/internal/simd"
 
-// Jump-table patching for the assembly backend. The generated kernels emulate
-// the paper's vector ISA scalar-wise; when the real AVX2 backend is available,
-// the count entries for small nominal sizes (1..8 on both sides — one ymm
-// register of lanes) are rerouted to the broadcast-compare-count kernel in
-// internal/simd, which is the hardware form of the same Fig. 2 comparison
-// stream. Entries are patched in place, so every Dispatcher previously handed
-// out (internal/core caches slice headers per Set) picks up the fast routines
+// Jump-table patching for the assembly backend ladder. The generated kernels
+// emulate the paper's vector ISA scalar-wise; when a real backend is
+// available, small-size entries are rerouted in place to the hardware
+// routines in internal/simd, so every Dispatcher previously handed out
+// (internal/core caches slice headers per Set) picks up the fast routines
 // with no re-wiring and no allocation on the query path.
 //
-// Only count entries are patched: the materializing (Intersect/Visit) kernels
-// must emit elements in order, which the lane-parallel compare does not
-// produce without a compress step — see ROADMAP "Open items".
+// The ladder patches two classes of entry:
+//
+//   - Count entries with both sides ≤ 8 route to simd.CountSmall, whose own
+//     dispatch climbs the ladder (16-lane AVX-512 broadcast when the top
+//     rung is live, 8-lane AVX2 otherwise — one register of lanes either
+//     way, the hardware form of the same Fig. 2 comparison stream).
+//   - On AVX-512 hardware only: count entries with a side in 9..16 (AVX2's
+//     register cannot hold them) and *intersect* entries with both sides
+//     ≤ 16 route to simd.CountSmall / simd.IntersectSmall. The intersect
+//     entries are the compress-store materialize path — VPCOMPRESSD emits
+//     the matching lanes in order, which no AVX2 instruction can do, so the
+//     materializing kernels (IntersectInto/IntersectManyInto/Visit) get real
+//     SIMD output instead of count-only.
+//
+// Every wrapper re-checks the live dispatch switch it needs and falls back
+// to the original generated body, so simd.SetAsmEnabled(false) /
+// simd.SetAvx512Enabled(false) (benchmark pairing, forced-AVX2 tier) restore
+// the exact pre-patch behavior without touching the tables.
 
-// asmPatchMax is the largest nominal size (per side) routed to the assembly
-// kernel: 8 lanes = one ymm register for the masked-loaded side.
+// asmPatchMax is the largest nominal size (per side) routed to the AVX2
+// count kernel: 8 lanes = one ymm register for the masked-loaded side.
 const asmPatchMax = 8
+
+// asmPatchMax512 is the largest nominal size (per side) routed to the
+// AVX-512 kernels: 16 lanes = one zmm register.
+const asmPatchMax512 = 16
 
 type savedCountEntry struct {
 	table *Table
@@ -25,17 +42,25 @@ type savedCountEntry struct {
 	orig  CountFunc
 }
 
+type savedInterEntry struct {
+	table *Table
+	ctrl  int
+	orig  IntersectFunc
+}
+
 var (
-	asmKernelsOn bool
-	asmSaved     []savedCountEntry
+	asmKernelsOn  bool
+	asmSaved      []savedCountEntry
+	asmSavedInter []savedInterEntry
 )
 
-// UseAsmKernels switches the small-size count entries of every generated
-// table to the assembly broadcast-compare kernel (on=true) or restores the
-// original generated bodies (on=false). Enabling is a no-op when the backend
-// is not compiled in or the CPU lacks support. Like simd.SetAsmEnabled it is
-// test/benchmark plumbing: not synchronized, and must not race with queries.
-// It returns the previous state.
+// UseAsmKernels switches the small-size entries of every generated table to
+// the assembly kernels (on=true) or restores the original generated bodies
+// (on=false). Enabling is a no-op when the backend is not compiled in or the
+// CPU lacks support; the AVX-512-only entries are patched only when that
+// rung is available. Like simd.SetAsmEnabled it is test/benchmark plumbing:
+// not synchronized, and must not race with queries. It returns the previous
+// state.
 func UseAsmKernels(on bool) bool {
 	prev := asmKernelsOn
 	if on == prev {
@@ -55,37 +80,82 @@ func UseAsmKernels(on bool) bool {
 		s.table.count[s.ctrl] = s.orig
 	}
 	asmSaved = asmSaved[:0]
+	for _, s := range asmSavedInter {
+		s.table.inter[s.ctrl] = s.orig
+	}
+	asmSavedInter = asmSavedInter[:0]
 	asmKernelsOn = false
 	return prev
 }
 
 // AsmKernelsActive reports whether the jump tables currently route small
-// count entries to the assembly kernel.
+// entries to the assembly kernels.
 func AsmKernelsActive() bool { return asmKernelsOn }
 
 func patchTable(t *Table) {
-	maxN := asmPatchMax
+	maxN := asmPatchMax512
+	if !simd.HasAVX512() {
+		maxN = asmPatchMax
+	}
 	if t.cap < maxN {
 		maxN = t.cap
 	}
 	for na := 1; na <= maxN; na++ {
 		for nb := 1; nb <= maxN; nb++ {
 			ctrl := na<<t.bits | nb
-			if ctrl >= len(t.count) || t.count[ctrl] == nil {
+			if ctrl >= len(t.count) {
 				continue
 			}
-			orig := t.count[ctrl]
-			asmSaved = append(asmSaved, savedCountEntry{t, ctrl, orig})
-			// The wrapper re-checks AsmActive so simd.SetAsmEnabled(false)
-			// (benchmark pairing) falls back to the original generated body,
-			// not merely a scalar merge.
-			t.count[ctrl] = func(a, b []uint32) int {
-				if simd.AsmActive() {
-					return simd.CountSmall(a, b)
-				}
-				return orig(a, b)
+			patchCountEntry(t, ctrl, na, nb)
+			if simd.HasAVX512() {
+				// Ordered output needs compress-store; without the top rung
+				// the wrapper could only ever fall back, so leave the
+				// generated body unwrapped.
+				patchInterEntry(t, ctrl)
 			}
 		}
+	}
+}
+
+func patchCountEntry(t *Table, ctrl, na, nb int) {
+	if t.count[ctrl] == nil {
+		return
+	}
+	orig := t.count[ctrl]
+	asmSaved = append(asmSaved, savedCountEntry{t, ctrl, orig})
+	if na <= asmPatchMax && nb <= asmPatchMax {
+		// Both sides fit a ymm register: any rung of the ladder can count
+		// this entry, and CountSmall dispatches the widest live one.
+		t.count[ctrl] = func(a, b []uint32) int {
+			if simd.AsmActive() {
+				return simd.CountSmall(a, b)
+			}
+			return orig(a, b)
+		}
+		return
+	}
+	// A side in 9..16: only the 16-lane AVX-512 register holds it.
+	t.count[ctrl] = func(a, b []uint32) int {
+		if simd.Avx512Active() {
+			return simd.CountSmall(a, b)
+		}
+		return orig(a, b)
+	}
+}
+
+func patchInterEntry(t *Table, ctrl int) {
+	if t.inter[ctrl] == nil {
+		return
+	}
+	orig := t.inter[ctrl]
+	asmSavedInter = append(asmSavedInter, savedInterEntry{t, ctrl, orig})
+	// The wrapper falls back to the generated body on the lower rungs
+	// (forced-AVX2 tier, benchmark pairing).
+	t.inter[ctrl] = func(dst, a, b []uint32) int {
+		if simd.Avx512Active() {
+			return simd.IntersectSmall(dst, a, b)
+		}
+		return orig(dst, a, b)
 	}
 }
 

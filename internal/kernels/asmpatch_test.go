@@ -27,6 +27,30 @@ func randSmall(rng *rand.Rand, n int, span uint32) []uint32 {
 	return out
 }
 
+// forEachTier runs f once per available dispatch tier with the ladder forced
+// to exactly that rung — including forced-AVX2 on AVX-512 hardware —
+// restoring the dispatch state afterwards.
+func forEachTier(t *testing.T, f func(t *testing.T, tier string)) {
+	run := func(tier string, asm, avx512 bool) {
+		t.Run(tier, func(t *testing.T) {
+			prevAsm := simd.SetAsmEnabled(asm)
+			prevAvx512 := simd.SetAvx512Enabled(avx512)
+			defer func() {
+				simd.SetAsmEnabled(prevAsm)
+				simd.SetAvx512Enabled(prevAvx512)
+			}()
+			f(t, tier)
+		})
+	}
+	run("scalar", false, false)
+	if simd.HasAsm() {
+		run("avx2", true, false)
+	}
+	if simd.HasAVX512() {
+		run("avx512", true, true)
+	}
+}
+
 // TestAsmKernelsParity drives every table's Count through the patched jump
 // table and compares with the original generated kernels across all size
 // pairs the patch covers (plus a margin beyond, to check fall-through).
@@ -66,6 +90,53 @@ func TestAsmKernelsParity(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestAsmKernelsInterParity drives every table's Intersect through the
+// patched jump table on every tier: count AND emitted elements (ordered)
+// must match the generic merge across the full patch domain (sizes to 16,
+// the AVX-512 register) plus a margin beyond for fall-through. On the
+// scalar and avx2 tiers the wrappers must route back to the generated
+// bodies bit-identically — the fallback half of the acceptance criteria.
+func TestAsmKernelsInterParity(t *testing.T) {
+	if !simd.HasAsm() {
+		t.Skip("assembly backend not available")
+	}
+	prevPatch := UseAsmKernels(true)
+	defer UseAsmKernels(prevPatch)
+
+	forEachTier(t, func(t *testing.T, tier string) {
+		rng := rand.New(rand.NewSource(13))
+		for _, tab := range Tables() {
+			limit := tab.Cap()
+			if limit > 18 {
+				limit = 18
+			}
+			for sa := 0; sa <= limit; sa++ {
+				for sb := 0; sb <= limit; sb++ {
+					for trial := 0; trial < 4; trial++ {
+						span := uint32(sa + sb + 4 + rng.Intn(28))
+						a := randSmall(rng, sa, span)
+						b := randSmall(rng, sb, span)
+						dst := make([]uint32, min(sa, sb)+1)
+						want := make([]uint32, min(sa, sb)+1)
+						got := tab.Intersect(dst, a, b)
+						wn := GenericIntersect(want, a, b)
+						if got != wn {
+							t.Fatalf("tier=%s table(w=%v stride=%d) sa=%d sb=%d a=%v b=%v: patched=%d want=%d",
+								tier, tab.Width(), tab.Stride(), sa, sb, a, b, got, wn)
+						}
+						for i := 0; i < wn; i++ {
+							if dst[i] != want[i] {
+								t.Fatalf("tier=%s table(w=%v stride=%d) sa=%d sb=%d elem %d: got=%d want=%d",
+									tier, tab.Width(), tab.Stride(), sa, sb, i, dst[i], want[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	})
 }
 
 // TestUseAsmKernelsRestores checks that disabling the patch restores the

@@ -32,21 +32,29 @@ func FuzzTableCount(f *testing.F) {
 		b := toSortedSet(data[cut:])
 		want := GenericCount(a, b)
 		dst := make([]uint32, min(len(a), len(b))+1)
-		for _, tbl := range Tables() {
-			if got := tbl.Count(a, b); got != want {
-				t.Fatalf("%v stride %d Count = %d, want %d\na=%v\nb=%v",
-					tbl.Width(), tbl.Stride(), got, want, a, b)
-			}
-			n := tbl.Intersect(dst, a, b)
-			if n != want {
-				t.Fatalf("%v stride %d Intersect = %d, want %d", tbl.Width(), tbl.Stride(), n, want)
-			}
-			for _, v := range dst[:n] {
-				if !contains(a, v) || !contains(b, v) {
-					t.Fatalf("%v emitted non-member %d", tbl.Width(), v)
+		wantDst := make([]uint32, min(len(a), len(b))+1)
+		GenericIntersect(wantDst, a, b)
+		// Each dispatch tier must agree: the patched jump-table wrappers
+		// re-check the live switches, so forcing a tier exercises its
+		// kernels (including forced-AVX2 on AVX-512 hardware).
+		forEachTier(t, func(t *testing.T, _ string) {
+			for _, tbl := range Tables() {
+				if got := tbl.Count(a, b); got != want {
+					t.Fatalf("%v stride %d Count = %d, want %d\na=%v\nb=%v",
+						tbl.Width(), tbl.Stride(), got, want, a, b)
+				}
+				n := tbl.Intersect(dst, a, b)
+				if n != want {
+					t.Fatalf("%v stride %d Intersect = %d, want %d", tbl.Width(), tbl.Stride(), n, want)
+				}
+				for i, v := range dst[:n] {
+					if v != wantDst[i] {
+						t.Fatalf("%v stride %d Intersect elem %d = %d, want %d (ordered output)",
+							tbl.Width(), tbl.Stride(), i, v, wantDst[i])
+					}
 				}
 			}
-		}
+		})
 		// The general kernels must agree at every width too.
 		for _, w := range []simd.Width{simd.WidthSSE, simd.WidthAVX, simd.WidthAVX512} {
 			if got := GeneralCount(w, a, b); got != want {
@@ -71,13 +79,4 @@ func toSortedSet(data []byte) []uint32 {
 		}
 	}
 	return out[:k]
-}
-
-func contains(s []uint32, x uint32) bool {
-	for _, v := range s {
-		if v == x {
-			return true
-		}
-	}
-	return false
 }

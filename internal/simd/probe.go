@@ -1,0 +1,40 @@
+package simd
+
+// Batched hash-probe stage: the AVX-512 half of the hash-probe strategy
+// (Section V). The scalar probe loop in internal/core hashes one element,
+// loads one bitmap word and tests one bit at a time; the gathered stage
+// below does all three sixteen elements per iteration — splitmix64 in qword
+// lanes, one VPGATHERDD for the sixteen containing bitmap words, VPTESTMD
+// for the bit tests — and compress-stores the surviving (element, position)
+// pairs in element order. The consumer then resolves each survivor's segment
+// scan exactly as before: the stage changes the probe loop's shape, not its
+// semantics, which the parity tests in internal/core assert.
+
+// ProbeStageBlock is the largest element count callers should hand one
+// ProbeStage call, sized so the out arrays fit comfortably on the stack.
+const ProbeStageBlock = 128
+
+// GatherProbeActive reports whether ProbeStage is dispatchable: the AVX-512
+// rung must be live. Callers must additionally gate on their own invariants
+// (bitmap positions fitting 32 bits; see ProbeStage).
+func GatherProbeActive() bool { return Avx512Active() }
+
+// ProbeStage probes the longest 16-multiple prefix of elems against the
+// bitmap words: for each element x it computes pos = splitmix64(x, seed) &
+// posMask and tests bit pos of the bitmap, compress-storing survivors' x to
+// outE and pos to outP in element order. Returns the survivor count and the
+// number of elements consumed (len(elems) &^ 15 — the caller probes the tail
+// scalar-wise). Requirements: the AVX-512 rung active (GatherProbeActive),
+// posMask < 1<<32 so positions fit the uint32 out lanes, posMask+1 a power
+// of two no larger than 64*len(words), and len(outE), len(outP) at least
+// len(elems) &^ 15 (every element may survive).
+func ProbeStage(elems []uint32, words []uint64, seed, posMask uint64, outE, outP []uint32) (survivors, consumed int) {
+	n := len(elems) &^ 15
+	if n == 0 {
+		return 0, 0
+	}
+	if len(outE) < n || len(outP) < n {
+		panic("simd: ProbeStage out buffers too short")
+	}
+	return probeStageAsm(elems, n, words, seed, posMask, outE, outP), n
+}

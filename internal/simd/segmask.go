@@ -164,6 +164,48 @@ func CountSmall(a, b []uint32) int {
 	return countSmallGeneric(a, b)
 }
 
+// IntersectSmall writes a ∩ b to dst in ascending order and returns the
+// number of elements written; dst must have room for min(len(a), len(b)).
+// On the AVX-512 rung the register side is mask-loaded once, the loop side
+// broadcast-compared against it, and one VPCOMPRESSD stores the matching
+// lanes contiguously in order — the compress-store materialize path the AVX2
+// rung lacks (it can only count). Falls back to a scalar merge on the lower
+// rungs. The specialized jump tables in internal/kernels route their
+// intersect entries here when the top rung is active.
+func IntersectSmall(dst, a, b []uint32) int {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	if Avx512Active() {
+		if n, ok := intersectSmallAsm(dst, a, b); ok {
+			return n
+		}
+	}
+	return IntersectSmallGeneric(dst, a, b)
+}
+
+// IntersectSmallGeneric is the scalar two-pointer merge IntersectSmall falls
+// back to. Exposed so parity tests can pin the pure-Go path regardless of
+// dispatch state.
+func IntersectSmallGeneric(dst, a, b []uint32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		av, bv := a[i], b[j]
+		switch {
+		case av < bv:
+			i++
+		case av > bv:
+			j++
+		default:
+			dst[n] = av
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
 // countSmallGeneric is the scalar two-pointer merge CountSmall falls back to.
 func countSmallGeneric(a, b []uint32) int {
 	i, j, n := 0, 0, 0

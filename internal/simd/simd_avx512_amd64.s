@@ -1,0 +1,285 @@
+//go:build amd64 && !noasm
+
+// AVX-512 kernels: the top rung of the runtime dispatch ladder behind
+// dispatch_amd64.go. These are only reachable when cpuid reports
+// AVX512F+VL+CD+DQ with full OS zmm/opmask state (XCR0 bits 5-7); the AVX2
+// routines in simd_amd64.s are the automatic fallback rung. Instruction
+// vocabulary follows the paper's AVX-512 tier (Section IV / Section V):
+// VPCOMPRESSD for ordered compress-store output, VPCONFLICTD for the
+// all-pairs match of two packed segments, VPGATHERDD for the batched
+// bitmap-word fetch of the hash-probe strategy, and k-register arithmetic
+// (KORW/KANDW) in place of AVX2 movemasks. The parity fuzz tests in
+// parity_test.go assert bit-exact agreement with the pure-Go references.
+
+#include "textflag.h"
+
+// func count16AVX512(a *uint32, la int, b *uint32, lb int) int
+//
+// Broadcast-compare-count over one 16-lane register: a (1..16 elements) is
+// mask-loaded once, each element of b is broadcast against it, and the match
+// masks accumulate in a k register (elements are distinct within a segment,
+// so at most one lane matches per broadcast and KORW never loses a match).
+// Padding lanes load as zero, so the accumulated mask is squashed with the
+// lane mask before the popcount (a genuine 0 element of b must not match
+// padding). The k-register accumulator replaces the VPSUBD lane accumulator
+// of countSmallAVX2: the count is POPCNT of one 16-bit mask, no horizontal
+// add needed.
+TEXT ·count16AVX512(SB), NOSPLIT, $0-40
+	MOVQ  a+0(FP), SI
+	MOVQ  la+8(FP), CX
+	MOVQ  b+16(FP), DX
+	MOVQ  lb+24(FP), R8
+
+	MOVL  $1, R9
+	SHLL  CX, R9
+	DECL  R9                   // (1<<la)-1: lane mask for a
+	KMOVW R9, K1
+	VMOVDQU32.Z (SI), K1, Z0   // a, padded with zeros
+	KXORW K2, K2, K2           // match accumulator
+
+c16loop:
+	TESTQ R8, R8
+	JE    c16done
+	VPBROADCASTD (DX), Z1
+	VPCMPEQD Z1, Z0, K3
+	KORW     K3, K2, K2
+	ADDQ     $4, DX
+	DECQ     R8
+	JMP      c16loop
+
+c16done:
+	KANDW   K1, K2, K2         // squash padding-lane matches
+	KMOVW   K2, AX
+	POPCNTL AX, AX
+	VZEROUPPER
+	MOVQ    AX, ret+32(FP)
+	RET
+
+// func intersect16AVX512(dst *uint32, a *uint32, la int, b *uint32, lb int) int
+//
+// Ordered materializing variant of count16AVX512: same broadcast-compare
+// accumulation, then one VPCOMPRESSD stores the matching lanes of a to dst
+// contiguously, preserving lane (= sorted) order — the compress-store idiom
+// that gives the jump table real SIMD output instead of count-only. Returns
+// the number of elements written. Segment element lists are sorted, so
+// compressing the a side is bit-identical to the generated scalar kernels'
+// emit-b-side-in-order semantics.
+TEXT ·intersect16AVX512(SB), NOSPLIT, $0-48
+	MOVQ  dst+0(FP), DI
+	MOVQ  a+8(FP), SI
+	MOVQ  la+16(FP), CX
+	MOVQ  b+24(FP), DX
+	MOVQ  lb+32(FP), R8
+
+	MOVL  $1, R9
+	SHLL  CX, R9
+	DECL  R9
+	KMOVW R9, K1
+	VMOVDQU32.Z (SI), K1, Z0
+	KXORW K2, K2, K2
+
+i16loop:
+	TESTQ R8, R8
+	JE    i16done
+	VPBROADCASTD (DX), Z1
+	VPCMPEQD Z1, Z0, K3
+	KORW     K3, K2, K2
+	ADDQ     $4, DX
+	DECQ     R8
+	JMP      i16loop
+
+i16done:
+	KANDW       K1, K2, K2
+	VPCOMPRESSD Z0, K2, (DI)   // ordered compress-store of the matches
+	KMOVW       K2, AX
+	POPCNTL     AX, AX
+	VZEROUPPER
+	MOVQ        AX, ret+40(FP)
+	RET
+
+// func intersectConflictAVX512(dst *uint32, a *uint32, la int, b *uint32, lb int) int
+//
+// Loop-free 8x8 materializing kernel: a is mask-loaded into lanes 0-7 and b
+// into lanes 8-15 of one zmm, then a single VPCONFLICTD compares every lane
+// against all earlier lanes at once. A b lane's conflict bits land in the
+// low 8 positions exactly when its value occurs in a (both sides are
+// duplicate-free, so a-a and b-b conflicts cannot occur); VPTESTMD against
+// the a-lane mask keeps those, KANDW restricts to real b lanes, and
+// VPCOMPRESSD stores them in b order. Padding lanes are zero: a zero b
+// element only conflicts with a *real* zero a lane because the test mask is
+// (1<<la)-1, not 0xFF.
+TEXT ·intersectConflictAVX512(SB), NOSPLIT, $0-48
+	MOVQ  dst+0(FP), DI
+	MOVQ  a+8(FP), SI
+	MOVQ  la+16(FP), CX
+	MOVQ  b+24(FP), DX
+	MOVQ  lb+32(FP), R8
+
+	MOVL  $1, R9
+	SHLL  CX, R9
+	DECL  R9                   // (1<<la)-1
+	KMOVW R9, K1
+	MOVL  $1, R10
+	MOVQ  R8, CX
+	SHLL  CX, R10
+	DECL  R10                  // (1<<lb)-1
+	KMOVW R10, K2
+
+	VMOVDQU32.Z (SI), K1, Y0   // a in lanes 0-7 (upper zmm zeroed)
+	VMOVDQU32.Z (DX), K2, Y1   // b in 8 lanes
+	VINSERTI64X4 $1, Y1, Z0, Z0 // [a | b] packed in one zmm
+
+	VPCONFLICTD  Z0, Z2        // per lane: bitset of earlier equal lanes
+	VPBROADCASTD R9, Z3        // a-lane selector
+	VPTESTMD     Z3, Z2, K3    // lanes conflicting with a real a lane
+	SHLL         $8, R10
+	KMOVW        R10, K2       // b lanes are 8..8+lb-1
+	KANDW        K2, K3, K3
+	VPCOMPRESSD  Z0, K3, (DI)  // matching b lanes, in b (= sorted) order
+	KMOVW        K3, AX
+	POPCNTL      AX, AX
+	VZEROUPPER
+	MOVQ         AX, ret+40(FP)
+	RET
+
+// func containsAVX512(b *uint32, lb int, x uint32) int
+//
+// 16-lane membership probe: broadcast x, VPCMPEQD straight from memory into
+// a k register sixteen lanes at a time, masked tail. Returns non-zero iff x
+// occurs in b. The zmm twin of containsAVX2 for the hash-probe strategy's
+// longer segment scans.
+TEXT ·containsAVX512(SB), NOSPLIT, $0-32
+	MOVQ b+0(FP), DX
+	MOVQ lb+8(FP), CX
+	MOVL x+16(FP), R11
+	VPBROADCASTD R11, Z0
+	XORQ AX, AX
+
+c512blocks:
+	CMPQ CX, $16
+	JLT  c512tail
+	VPCMPEQD (DX), Z0, K2
+	KMOVW    K2, R10
+	ORL      R10, AX
+	ADDQ     $64, DX
+	SUBQ     $16, CX
+	JMP      c512blocks
+
+c512tail:
+	TESTQ CX, CX
+	JE    c512done
+	MOVL  $1, R9
+	SHLL  CX, R9
+	DECL  R9
+	KMOVW R9, K1
+	VMOVDQU32.Z (DX), K1, Z1
+	VPCMPEQD Z1, Z0, K2
+	KANDW    K1, K2, K2        // a zero tail-padding lane must not match x=0
+	KMOVW    K2, R10
+	ORL      R10, AX
+
+c512done:
+	VZEROUPPER
+	MOVQ AX, ret+24(FP)
+	RET
+
+// func probeStageAVX512(elems *uint32, n int, words *uint64, seed uint64,
+//                       posMask uint64, outElems, outPos *uint32) int
+//
+// Batched hash-probe stage: for 16 elements per iteration, computes the full
+// splitmix64 mix in eight qword lanes per half (VPADDQ/VPSRLQ/VPXORQ/VPMULLQ
+// — the DQ requirement), masks to bitmap positions, narrows to 16 dword
+// lanes, and gathers the 16 containing bitmap words with one VPGATHERDD over
+// the word array viewed as dwords (little-endian: dword pos>>5 carries bit
+// pos&31 of word pos>>6, and pos>>5 < 2*len(words) keeps the gather in
+// bounds). Lanes whose bit survives are compress-stored — both the element
+// and its bitmap position — to the out arrays, preserving element order.
+// Returns the survivor count. n must be a multiple of 16 (the Go caller
+// handles the tail scalar-wise); positions must fit 32 bits, which the
+// dispatch gate guarantees (mBits <= 1<<32).
+TEXT ·probeStageAVX512(SB), NOSPLIT, $0-64
+	MOVQ elems+0(FP), SI
+	MOVQ n+8(FP), CX
+	MOVQ words+16(FP), DX
+	MOVQ seed+24(FP), R9
+	MOVQ posMask+32(FP), R10
+	MOVQ outElems+40(FP), DI
+	MOVQ outPos+48(FP), R8
+	XORQ AX, AX                // survivor count
+
+	// Lane-broadcast constants for the splitmix64 rounds.
+	MOVQ $0x9e3779b97f4a7c15, R11
+	ADDQ R11, R9               // seed + golden-ratio increment, fused
+	VPBROADCASTQ R9, Z20
+	MOVQ $0xbf58476d1ce4e5b9, R11
+	VPBROADCASTQ R11, Z21
+	MOVQ $0x94d049bb133111eb, R11
+	VPBROADCASTQ R11, Z22
+	VPBROADCASTQ R10, Z23      // position mask (m-1)
+	MOVL $31, R11
+	VPBROADCASTD R11, Z24      // bit-offset mask
+	MOVL $1, R11
+	VPBROADCASTD R11, Z25      // probe bit
+
+probeloop:
+	CMPQ CX, $16
+	JLT  probedone
+
+	// z = zext32to64(x) + (seed + C); two zmm halves of 8 qwords each.
+	VPMOVZXDQ (SI), Z0
+	VPMOVZXDQ 32(SI), Z1
+	VPADDQ Z20, Z0, Z0
+	VPADDQ Z20, Z1, Z1
+	// z = (z ^ z>>30) * M1
+	VPSRLQ $30, Z0, Z2
+	VPSRLQ $30, Z1, Z3
+	VPXORQ Z2, Z0, Z0
+	VPXORQ Z3, Z1, Z1
+	VPMULLQ Z21, Z0, Z0
+	VPMULLQ Z21, Z1, Z1
+	// z = (z ^ z>>27) * M2
+	VPSRLQ $27, Z0, Z2
+	VPSRLQ $27, Z1, Z3
+	VPXORQ Z2, Z0, Z0
+	VPXORQ Z3, Z1, Z1
+	VPMULLQ Z22, Z0, Z0
+	VPMULLQ Z22, Z1, Z1
+	// z ^= z>>31; pos = z & (m-1)
+	VPSRLQ $31, Z0, Z2
+	VPSRLQ $31, Z1, Z3
+	VPXORQ Z2, Z0, Z0
+	VPXORQ Z3, Z1, Z1
+	VPANDQ Z23, Z0, Z0
+	VPANDQ Z23, Z1, Z1
+
+	// Narrow 16 qword positions to 16 dword lanes.
+	VPMOVQD Z0, Y2
+	VPMOVQD Z1, Y3
+	VINSERTI64X4 $1, Y3, Z2, Z2
+
+	// Gather the 16 containing dwords and test bit pos&31.
+	VPSRLD $5, Z2, Z4          // dword index = pos >> 5
+	KXNORW K1, K1, K1          // all 16 lanes (gather consumes its mask)
+	VPGATHERDD (DX)(Z4*4), K1, Z5
+	VPANDD  Z24, Z2, Z6        // bit offset = pos & 31
+	VPSRLVD Z6, Z5, Z5
+	VPTESTMD Z25, Z5, K2       // survivor lanes
+
+	// Compress-store survivors: elements and their positions, in order.
+	KMOVW   K2, R11
+	POPCNTL R11, R11
+	VMOVDQU32   (SI), Z7
+	VPCOMPRESSD Z7, K2, (DI)
+	VPCOMPRESSD Z2, K2, (R8)
+	LEAQ (DI)(R11*4), DI
+	LEAQ (R8)(R11*4), R8
+	ADDQ R11, AX
+
+	ADDQ $64, SI
+	SUBQ $16, CX
+	JMP  probeloop
+
+probedone:
+	VZEROUPPER
+	MOVQ AX, ret+56(FP)
+	RET

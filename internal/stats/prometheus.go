@@ -75,11 +75,11 @@ var promCounters = [NumCounters]promSeries{
 // native power-of-two buckets as cumulative `le` buckets in seconds; the
 // kernel-dispatch histogram is exported as a labelled counter family.
 func WritePrometheus(w io.Writer, s *Snapshot) error {
-	// Build-info gauge: a constant 1 whose labels identify the intersection
-	// backend actually dispatching in this process ("avx2" when the assembly
-	// routines are active, "scalar" for the pure-Go reference). Scrapers join
-	// it against the query counters to attribute performance shifts to the
-	// backend in play.
+	// Build-info gauge: a constant 1 whose labels identify the ladder rung
+	// actually dispatching in this process ("avx512" when the compress-store
+	// kernels and gathered probe are active, "avx2" for the AVX2 assembly
+	// tier, "scalar" for the pure-Go reference). Scrapers join it against the
+	// query counters to attribute performance shifts to the backend in play.
 	if _, err := fmt.Fprintf(w, "# HELP fesia_build_info Constant 1, labelled with the active intersection backend.\n# TYPE fesia_build_info gauge\nfesia_build_info{backend=%q} 1\n", simd.Backend()); err != nil {
 		return err
 	}

@@ -92,11 +92,15 @@ const (
 	CtrPlanOverrides           = stats.CtrPlanOverrides
 )
 
-// Backend reports which intersection backend this process dispatches to:
-// "avx2" when the hand-written assembly routines are active (amd64 with AVX2,
-// BMI2 and POPCNT, not built with -tags=noasm), "scalar" for the pure-Go
-// reference path. The same string is exported on /metrics as the
-// fesia_build_info gauge's backend label.
+// Backend reports which rung of the ISA ladder this process dispatches to:
+// "avx512" when the AVX-512 compress-store kernels and gathered hash probe
+// are active (amd64 with AVX-512 F/VL/CD/DQ and OS ZMM state, not built with
+// -tags=noasm), "avx2" for the hand-written AVX2 routines (amd64 with AVX2,
+// BMI2 and POPCNT), "scalar" for the pure-Go reference path. Setting the
+// FESIA_DISABLE_AVX512 environment variable (to any non-empty value) before
+// process start pins the ladder at "avx2" on AVX-512 hardware. The same
+// string is exported on /metrics as the fesia_build_info gauge's backend
+// label and in the fesiaserve startup log line.
 func Backend() string { return simd.Backend() }
 
 // EnableStats turns the observability layer on process-wide and returns the
